@@ -1,0 +1,83 @@
+"""Section 3.4.2 ablation: hardware mutexes vs test-and-set spin locks.
+
+"the MicroEngines have a test-and-set instruction that can be used to
+implement a lock using a tight test-until-acquired loop.  However, our
+experiments with this strategy reveal performance-crippling memory
+contention when many contexts attempt to acquire the lock at the same
+time.  Fortunately, the IXP1200 also has hardware mutex support ...
+Because these operations are blocking, they do not suffer from the same
+problem."
+
+The point is not the lock's own latency but the collateral damage: the
+spin loop floods the SRAM channel, inflating every *other* context's
+memory access times.  A bystander process measures its own SRAM read
+latency while 16 contenders fight over a lock in each style.
+"""
+
+from conftest import report, run_once
+
+from repro.engine import Delay, Simulator
+from repro.ixp.memory import HardwareMutex, Memory, MemoryKind, TestAndSetMutex
+from repro.ixp.params import DEFAULT_PARAMS
+
+CONTENDERS = 16
+CRITICAL_SECTION = 60
+ROUNDS = 12
+BYSTANDER_PERIOD = 40
+
+
+def run_lock_style(style: str):
+    sim = Simulator()
+    sram = Memory(sim, MemoryKind.SRAM, DEFAULT_PARAMS.sram)
+    if style == "hardware":
+        mutex = HardwareMutex(sim, sram)
+    else:
+        mutex = TestAndSetMutex(sim, sram)
+    done = [0]
+
+    def contender():
+        for __ in range(ROUNDS):
+            yield from mutex.acquire()
+            yield Delay(CRITICAL_SECTION)
+            yield from mutex.release()
+        done[0] += 1
+
+    bystander_latencies = []
+
+    def bystander():
+        while done[0] < CONTENDERS:
+            start = sim.now
+            yield from sram.read(tag="bystander")
+            bystander_latencies.append(sim.now - start)
+            yield Delay(BYSTANDER_PERIOD)
+
+    for __ in range(CONTENDERS):
+        sim.spawn(contender())
+    sim.spawn(bystander())
+    sim.run()
+    reads, writes = sram.counts_for("")
+    return {
+        "sram_accesses": reads + writes,
+        "bystander_latency": sum(bystander_latencies) / max(1, len(bystander_latencies)),
+        "spins": getattr(mutex, "spin_attempts", 0),
+    }
+
+
+def test_lock_styles(benchmark):
+    def run():
+        return run_lock_style("hardware"), run_lock_style("test-and-set")
+
+    hardware, spin = run_once(benchmark, run)
+    ops = CONTENDERS * ROUNDS
+    report(benchmark, "Lock ablation (16 contenders x 12 acquisitions)", [
+        ("hw-mutex SRAM accesses", 2 * ops, hardware["sram_accesses"]),
+        ("test-and-set SRAM accesses", None, spin["sram_accesses"]),
+        ("bystander read latency, hw mutex (cyc)", None, round(hardware["bystander_latency"], 1)),
+        ("bystander read latency, spin (cyc)", None, round(spin["bystander_latency"], 1)),
+    ])
+    # Blocking mutexes generate exactly two accesses per acquisition
+    # (plus the bystander's own), while spinning floods the channel.
+    assert hardware["sram_accesses"] - 2 * ops < 600  # bystander reads only
+    assert spin["sram_accesses"] > 4 * hardware["sram_accesses"]
+    # The flood visibly inflates everyone else's memory latency.
+    assert spin["bystander_latency"] > 1.3 * hardware["bystander_latency"]

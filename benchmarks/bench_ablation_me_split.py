@@ -1,0 +1,26 @@
+"""Ablation: the static input/output MicroEngine split.
+
+The paper fixes 4 input / 2 output engines and uses Figure 7 to argue the
+choice; this bench measures the alternatives directly.  The input stage
+cannot exceed 4 engines (16 FIFO slots), and giving it fewer engines
+starves the receive side -- 4/2 should win or tie every other split.
+"""
+
+from conftest import report, run_once
+
+from repro.ixp.workbench import me_split_sweep
+
+
+def test_me_split_ablation(benchmark):
+    results = run_once(benchmark, lambda: me_split_sweep(window=120_000))
+    rows = [
+        (f"{i} input / {o} output MEs (Mpps)", "4/2 best" if (i, o) == (4, 2) else None,
+         round(mpps / 1e6, 2))
+        for (i, o), mpps in sorted(results.items())
+    ]
+    report(benchmark, "MicroEngine split ablation (full system)", rows)
+    best_split = max(results, key=results.get)
+    # The paper's 4/2 split is the best (or within noise of the best).
+    assert results[(4, 2)] >= 0.97 * results[best_split]
+    # Starving the input stage clearly loses.
+    assert results[(1, 5)] < 0.5 * results[(4, 2)]

@@ -1,0 +1,39 @@
+"""Figure 10: forwarding-time breakdown under maximal output-queue
+contention, as VRP code is added.
+
+Paper's shape: at 0 blocks the per-packet time is ~0.29 us uncontended
+vs ~0.6 us contended (the Table 1 row I.3 situation); as the VRP budget
+grows, the time "otherwise lost to contention delay can be used for VRP
+processing" until, at 64 blocks, "there is no measurable contention
+overhead".
+"""
+
+from conftest import report, run_once
+
+from repro.ixp.workbench import figure10_series
+
+BLOCKS = [0, 16, 32, 48, 64]
+WINDOW = 120_000
+
+
+def test_fig10_contention_absorbed(benchmark):
+    series = run_once(benchmark, lambda: figure10_series(block_counts=BLOCKS, window=WINDOW))
+    rows = [
+        ("free time @0 blocks (us)", 0.29, round(series[0][0], 3)),
+        ("contended time @0 blocks (us)", 0.60, round(series[0][1], 3)),
+    ]
+    for count in BLOCKS:
+        free, jam = series[count]
+        rows.append((f"contention overhead @{count} blocks (us)", None, round(max(0.0, jam - free), 3)))
+    report(benchmark, "Figure 10: forwarding time under contention", rows)
+
+    overhead = {count: series[count][1] - series[count][0] for count in BLOCKS}
+    # Anchors at zero blocks.
+    assert 0.25 < series[0][0] < 0.35
+    assert 0.5 < series[0][1] < 0.75
+    # The overhead shrinks as VRP work absorbs the contention delay...
+    assert overhead[64] < 0.5 * max(overhead[16], overhead[0])
+    assert overhead[64] < overhead[48] < overhead[32]
+    # ...until at 64 blocks it is a small fraction of the per-packet time
+    # (the paper: "no measurable contention overhead").
+    assert series[64][1] / series[64][0] < 1.10

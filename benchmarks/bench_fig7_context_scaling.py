@@ -1,0 +1,43 @@
+"""Figure 7: maximum packet rates of the input and output stages when
+running independently, as a function of MicroEngine contexts.
+
+Paper's shape: output scales almost perfectly with added contexts
+(reaching ~8 Mpps at 24); input grows to ~3.5 Mpps and "benefits very
+little from more than 16 contexts" -- the input stage is limited to 16
+contexts by the 16 input-FIFO slots, and by the serialized DMA beyond
+that.  Only the minimum number of engines hosts each context count,
+producing the paper's characteristic "dent" at small counts.
+"""
+
+from conftest import report, run_once
+
+from repro.ixp.workbench import figure7_series
+
+# Eyeballed from the published graph (Mpps).
+PAPER_OUTPUT = {4: 1.7, 8: 3.8, 16: 6.5, 24: 9.0}
+PAPER_INPUT = {4: 1.0, 8: 2.0, 16: 3.5}
+
+WINDOW = 100_000
+
+
+def test_fig7_context_scaling(benchmark):
+    input_series, output_series = run_once(
+        benchmark,
+        lambda: figure7_series(context_counts=[1, 2, 4, 8, 12, 16, 20, 24], window=WINDOW),
+    )
+    rows = []
+    for n, mpps in input_series.items():
+        rows.append((f"input {n} contexts", PAPER_INPUT.get(n), round(mpps, 2)))
+    for n, mpps in output_series.items():
+        rows.append((f"output {n} contexts", PAPER_OUTPUT.get(n), round(mpps, 2)))
+    report(benchmark, "Figure 7: stage rates vs context count (Mpps)", rows)
+
+    # Output scales near-linearly: doubling contexts ~doubles the rate.
+    assert output_series[8] > 1.8 * output_series[4]
+    assert output_series[16] > 1.7 * output_series[8]
+    assert output_series[24] > 2.3 * output_series[8]
+    # Input grows sub-linearly toward its ~3.5 Mpps plateau at 16.
+    assert input_series[16] < 2.2 * input_series[8]
+    assert 3.0 < input_series[16] < 4.0
+    # The input stage cannot use more than 16 contexts at all (FIFO slots).
+    assert 20 not in input_series and 24 not in input_series

@@ -1,0 +1,40 @@
+"""Figure 9: number of VRP code blocks vs supportable line speed.
+
+Paper's anchor points: the null-VRP system forwards 3.47 Mpps; "at an
+aggregate forwarding rate of 1 Mpps, the VRP has a budget of 32 blocks,
+each consisting of 10 register operations and a 4-byte read from SRAM."
+SRAM-read blocks cost more than register blocks, and the combined block
+costs the most.
+"""
+
+from conftest import report, run_once
+
+from repro.ixp.workbench import figure9_series
+
+WINDOW = 120_000
+BLOCKS = [0, 8, 16, 32, 48, 64]
+
+
+def test_fig9_vrp_blocks(benchmark):
+    series = run_once(benchmark, lambda: figure9_series(block_counts=BLOCKS, window=WINDOW))
+    combo = series["10 reg + 4B SRAM"]
+    regs = series["10 register instr"]
+    sram = series["4B SRAM read"]
+    rows = [("combo blocks @0", 3.47, round(combo[0], 2)),
+            ("combo blocks @32 (the 1 Mpps point)", 1.0, round(combo[32], 2))]
+    for count in BLOCKS[1:]:
+        rows.append((f"reg-only @{count}", None, round(regs[count], 2)))
+        rows.append((f"sram-only @{count}", None, round(sram[count], 2)))
+        rows.append((f"combo @{count}", None, round(combo[count], 2)))
+    report(benchmark, "Figure 9: forwarding rate vs VRP blocks (Mpps)", rows)
+
+    # Monotone decrease for every flavour.
+    for flavour in series.values():
+        values = [flavour[count] for count in BLOCKS]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+    # The paper's anchor: 32 combo blocks ~ 1 Mpps.
+    assert 0.85 < combo[32] < 1.2
+    # Cost ordering at every non-zero count: combo <= sram-only, reg-only.
+    for count in BLOCKS[1:]:
+        assert combo[count] <= sram[count] + 0.05
+        assert combo[count] <= regs[count] + 0.05

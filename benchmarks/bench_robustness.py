@@ -1,0 +1,68 @@
+"""Section 4.7: the two whole-stack robustness experiments.
+
+Experiment 1: with a synthetic suite of Table 5 forwarders consuming the
+full VRP budget, "the system was able to forward up to 310 Kpps (out of
+the 1.128 Mpps offered load) through the Pentium without dropping any
+packets at any level of the processor hierarchy.  Each of the 310 Kpps
+... receives 1510 cycles of service."
+
+Experiment 2: a growing stream of exceptional (control) packets "had no
+effect on the router's ability to forward regular packets" until the
+higher levels saturate -- and even then only the exceptional stream
+suffers.
+"""
+
+import math
+
+import pytest
+from conftest import report, run_once
+
+from repro.analysis import run_exceptional_flood, run_vrp_pentium_share
+
+
+def test_robustness_pentium_share(benchmark):
+    def sweep():
+        return {every: run_vrp_pentium_share(every, window=350_000) for every in (8, 4, 3, 2)}
+
+    results = run_once(benchmark, sweep)
+    best_lossless = max(
+        (r.pentium_processed_pps for r in results.values() if r.lossless), default=0.0
+    )
+    rows = [("max lossless Pentium rate (Kpps)", 310, round(best_lossless / 1e3))]
+    for every, r in results.items():
+        rows.append((
+            f"share 1/{every}: pentium Kpps / lossless",
+            None,
+            f"{r.pentium_processed_pps/1e3:.0f} / {r.lossless}",
+        ))
+        rows.append((f"share 1/{every}: fast path Mpps", None, round(r.forwarded_pps / 1e6, 2)))
+    report(benchmark, "Robustness experiment 1 (VRP suite + Pentium share)", rows)
+
+    # The paper's 310 Kpps anchor (we accept 270-340).
+    assert best_lossless == pytest.approx(310e3, rel=0.13)
+    # Oversubscription is detected, and the fast path keeps running.
+    assert not results[2].lossless
+    assert results[2].fast_path_drops == 0
+    # At the lossless operating points, each Pentium packet received its
+    # 1510 cycles with almost nothing to spare near saturation.
+    saturated = results[3]
+    assert saturated.pentium_spare_cycles < 300
+
+
+def test_robustness_exceptional_flood(benchmark):
+    def sweep():
+        return {every: run_exceptional_flood(every, window=200_000) for every in (32, 8, 4)}
+
+    results = run_once(benchmark, sweep)
+    rows = []
+    for every, r in results.items():
+        rows.append((f"1/{every} exceptional: fast-path Mpps", None, round(r.forwarded_pps / 1e6, 2)))
+        rows.append((f"1/{every} exceptional: fast-path drops", 0, r.fast_path_drops))
+    report(benchmark, "Robustness experiment 2 (exceptional-packet flood)", rows)
+
+    # The regular stream never drops, at any exceptional rate.
+    for r in results.values():
+        assert r.fast_path_drops == 0
+    # Forwarding stays within ~12% of the light-flood rate even when the
+    # exceptional stream massively oversubscribes the StrongARM.
+    assert results[4].forwarded_pps > 0.85 * results[32].forwarded_pps or results[4].forwarded_pps > 2.9e6

@@ -1,0 +1,29 @@
+"""Section 3.6: the StrongARM's forwarding envelope.
+
+Paper: a null local forwarder sustains 526 Kpps with polling (zero spare
+cycles at that rate); interrupts were "significantly slower".
+"""
+
+import pytest
+from conftest import report, run_once
+
+from repro.hosts.harness import measure_strongarm_path
+
+
+def test_strongarm_polling_vs_interrupts(benchmark):
+    def run():
+        return {
+            "polling": measure_strongarm_path("polling", window=300_000),
+            "interrupt": measure_strongarm_path("interrupt", window=300_000),
+            "full-ip": measure_strongarm_path(forwarder_cycles=660, window=300_000),
+        }
+
+    rates = run_once(benchmark, run)
+    report(benchmark, "Section 3.6: StrongARM path (Kpps)", [
+        ("null forwarder, polling", 526, round(rates["polling"] / 1e3)),
+        ("null forwarder, interrupts", None, round(rates["interrupt"] / 1e3)),
+        ("full-IP forwarder (660 cyc)", None, round(rates["full-ip"] / 1e3)),
+    ])
+    assert rates["polling"] == pytest.approx(526e3, rel=0.08)
+    assert rates["interrupt"] < 0.7 * rates["polling"]
+    assert rates["full-ip"] < 0.5 * rates["polling"]

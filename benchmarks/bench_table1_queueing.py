@@ -1,0 +1,39 @@
+"""Table 1: maximum packet rates by queueing discipline.
+
+Paper values (Mpps): I.1 3.75, I.2 3.47, I.3 1.67 (input, 4 MicroEngines);
+O.1 3.78, O.2 3.41, O.3 3.29 (output, 2 MicroEngines).
+"""
+
+from conftest import report, run_once
+
+from repro.ixp.workbench import table1_rows
+
+PAPER = {
+    "I.1 private queues in regs": 3.75,
+    "I.2 protected public queues no contention": 3.47,
+    "I.3 protected public queues max contention": 1.67,
+    "O.1 single queue with batching": 3.78,
+    "O.2 single queue without batching": 3.41,
+    "O.3 multiple queues with indirection": 3.29,
+}
+
+WINDOW = 150_000
+
+
+def test_table1_queueing_disciplines(benchmark):
+    rows = run_once(benchmark, lambda: table1_rows(window=WINDOW))
+    report(
+        benchmark,
+        "Table 1: max forwarding rate by queueing discipline (Mpps)",
+        [(name, PAPER[name], round(rows[name], 2)) for name in PAPER],
+    )
+    # Shape: the orderings the paper's discussion rests on.
+    assert rows["I.1 private queues in regs"] > rows["I.2 protected public queues no contention"]
+    assert rows["I.2 protected public queues no contention"] > rows["I.3 protected public queues max contention"]
+    assert rows["O.1 single queue with batching"] > rows["O.2 single queue without batching"]
+    assert rows["O.2 single queue without batching"] > rows["O.3 multiple queues with indirection"]
+    # Contention collapses the input stage by more than 2x.
+    assert rows["I.3 protected public queues max contention"] < 0.55 * rows["I.2 protected public queues no contention"]
+    # Magnitudes within 20% of the paper's measurements.
+    for name, paper in PAPER.items():
+        assert abs(rows[name] - paper) / paper < 0.20, name

@@ -1,0 +1,59 @@
+"""Table 3: MicroEngine cycle times for memory transfers.
+
+Paper (cycles): DRAM 32 B read/write 52/40; SRAM 4 B 22/22;
+Scratch 4 B 16/20.
+"""
+
+from conftest import report, run_once
+
+from repro.engine import Simulator
+from repro.ixp.memory import Memory, MemoryKind
+from repro.ixp.params import DEFAULT_PARAMS
+
+PAPER = {
+    "DRAM 32B read": 52, "DRAM 32B write": 40,
+    "SRAM 4B read": 22, "SRAM 4B write": 22,
+    "Scratch 4B read": 16, "Scratch 4B write": 20,
+}
+
+
+def probe_latency(timing, kind, op) -> int:
+    """Measured uncontended access time in a fresh simulator."""
+    sim = Simulator()
+    memory = Memory(sim, kind, timing)
+    memory.jitter.mask = 0  # uncontended, un-dithered probe
+    finished = []
+
+    def prober():
+        if op == "read":
+            yield from memory.read(tag="probe")
+        else:
+            yield from memory.write(tag="probe")
+        finished.append(sim.now)
+
+    sim.spawn(prober())
+    sim.run()
+    return finished[0]
+
+
+def measure_all():
+    p = DEFAULT_PARAMS
+    return {
+        "DRAM 32B read": probe_latency(p.dram, MemoryKind.DRAM, "read"),
+        "DRAM 32B write": probe_latency(p.dram, MemoryKind.DRAM, "write"),
+        "SRAM 4B read": probe_latency(p.sram, MemoryKind.SRAM, "read"),
+        "SRAM 4B write": probe_latency(p.sram, MemoryKind.SRAM, "write"),
+        "Scratch 4B read": probe_latency(p.scratch, MemoryKind.SCRATCH, "read"),
+        "Scratch 4B write": probe_latency(p.scratch, MemoryKind.SCRATCH, "write"),
+    }
+
+
+def test_table3_memory_latencies(benchmark):
+    measured = run_once(benchmark, measure_all)
+    report(
+        benchmark,
+        "Table 3: memory access latencies (MicroEngine cycles)",
+        [(name, PAPER[name], measured[name]) for name in PAPER],
+    )
+    # These are input parameters of the model, so they must match exactly.
+    assert measured == PAPER

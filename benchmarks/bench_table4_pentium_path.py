@@ -1,0 +1,36 @@
+"""Table 4: maximum forwarding rate through the Pentium and excess
+per-packet processor cycles.
+
+Paper: 64 B -> 534 Kpps, ~500 spare Pentium cycles, StrongARM saturated
+(0 spare); 1500 B -> 43.6 Kpps, ~800 spare Pentium cycles, ~4200 spare
+StrongARM cycles.
+"""
+
+import pytest
+from conftest import report, run_once
+
+from repro.hosts.harness import measure_pentium_path
+
+
+def test_table4_pentium_path_64b(benchmark):
+    m = run_once(benchmark, lambda: measure_pentium_path(64, window=400_000))
+    report(benchmark, "Table 4 (64-byte packets)", [
+        ("rate (Kpps)", 534.0, round(m.rate_pps / 1e3, 1)),
+        ("Pentium spare cycles", 500, round(m.pentium_spare_cycles)),
+        ("StrongARM spare cycles", 0, round(m.strongarm_spare_cycles)),
+    ])
+    assert m.rate_pps == pytest.approx(534e3, rel=0.10)
+    assert 250 < m.pentium_spare_cycles < 750
+    assert m.strongarm_spare_cycles < 150  # effectively saturated
+
+
+def test_table4_pentium_path_1500b(benchmark):
+    m = run_once(benchmark, lambda: measure_pentium_path(1500, window=1_500_000))
+    report(benchmark, "Table 4 (1500-byte packets)", [
+        ("rate (Kpps)", 43.6, round(m.rate_pps / 1e3, 1)),
+        ("Pentium spare cycles", 800, round(m.pentium_spare_cycles)),
+        ("StrongARM spare cycles", 4200, round(m.strongarm_spare_cycles)),
+    ])
+    # Bus-bound: the rate emerges from PCI bandwidth.
+    assert m.rate_pps == pytest.approx(43.6e3, rel=0.10)
+    assert m.strongarm_spare_cycles == pytest.approx(4200, rel=0.15)

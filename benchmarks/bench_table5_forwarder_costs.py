@@ -1,0 +1,44 @@
+"""Table 5: cycle, memory and register requirements of the example data
+forwarders, plus the heavyweight forwarders that exceed the VRP budget.
+
+Paper: splicer 24 B / 45 ops; wavelet 8 / 28; ACK monitor 12 / 15;
+SYN monitor 4 / 5; port filter 20 / 26; minimal IP 24 / 32.
+TCP proxy >= 800 cycles, full IP >= 660, CPE prefix match ~236.
+"""
+
+from conftest import report, run_once
+
+from repro.core.forwarders import TABLE5_EXPECTED, full_ip, table5_specs, tcp_proxy
+from repro.core.router import ROUTE_LOOKUP_CYCLES
+from repro.core.vrp import PROTOTYPE_BUDGET
+
+
+def gather():
+    return {
+        spec.name: (spec.program.cost().sram_bytes, spec.program.register_op_count(), spec)
+        for spec in table5_specs()
+    }
+
+
+def test_table5_forwarder_costs(benchmark):
+    measured = run_once(benchmark, gather)
+    rows = []
+    for name, (paper_sram, paper_regs) in TABLE5_EXPECTED.items():
+        sram, regs, __ = measured[name]
+        rows.append((f"{name} SRAM bytes", paper_sram, sram))
+        rows.append((f"{name} register ops", paper_regs, regs))
+    rows.append(("tcp-proxy cycles (PE)", 800, tcp_proxy().cycles))
+    rows.append(("full-ip cycles (SA)", 660, full_ip().cycles))
+    rows.append(("CPE route lookup cycles", 236, ROUTE_LOOKUP_CYCLES))
+    report(benchmark, "Table 5: data-forwarder requirements", rows)
+
+    for name, (paper_sram, paper_regs) in TABLE5_EXPECTED.items():
+        sram, regs, spec = measured[name]
+        assert (sram, regs) == (paper_sram, paper_regs), name
+        ok, reason = PROTOTYPE_BUDGET.check(
+            spec.program.cost(), spec.program.registers_needed
+        )
+        assert ok, f"{name}: {reason}"
+    # "These forwarders clearly need to run on the StrongARM or Pentium."
+    assert tcp_proxy().cycles > PROTOTYPE_BUDGET.cycles
+    assert full_ip().cycles > PROTOTYPE_BUDGET.cycles

@@ -1,0 +1,51 @@
+"""Section 4.3: the VRP budget at the prototype's line speed.
+
+"with 8 x 100Mbps links, 240 register operations and 96 bytes of state
+storage are available for each 64-byte packet" -- plus 24 SRAM transfers,
+3 hardware hashes and 650 ISTORE slots.  This bench validates the budget
+two ways: the closed-form derivation, and by simulation (a VRP of exactly
+the budget must still sustain 1.128 Mpps; 1.5x the budget must not).
+"""
+
+import pytest
+from conftest import report, run_once
+
+from repro.core.vrp import PROTOTYPE_BUDGET, budget_for_line_rate
+from repro.ixp.chip import ChipConfig, IXP1200
+from repro.ixp.programs import TimedVRP
+
+LINE_RATE = 1.128e6
+
+
+def sustained_fraction(vrp, window=250_000):
+    """Fraction of the offered 1.128 Mpps actually forwarded."""
+    chip = IXP1200(ChipConfig(synthetic_rate_pps=LINE_RATE, queue_capacity=512, vrp=vrp))
+    m = chip.measure(window=window, warmup=30_000)
+    return m.output_pps / LINE_RATE
+
+
+def test_vrp_budget_at_prototype_line_rate(benchmark):
+    def run():
+        derived = budget_for_line_rate(LINE_RATE)
+        at_budget = sustained_fraction(
+            TimedVRP(reg_cycles=216, sram_reads=12, sram_writes=12, hashes=3)
+        )
+        over_budget = sustained_fraction(
+            TimedVRP(reg_cycles=330, sram_reads=18, sram_writes=18, hashes=3)
+        )
+        return derived, at_budget, over_budget
+
+    derived, at_budget, over_budget = run_once(benchmark, run)
+    report(benchmark, "Section 4.3: the VRP budget at 8 x 100 Mbps", [
+        ("cycle budget", 240, derived.cycles),
+        ("SRAM transfers", 24, derived.sram_transfers),
+        ("state bytes", 96, derived.state_bytes),
+        ("hashes", 3, derived.hashes),
+        ("ISTORE slots", 650, PROTOTYPE_BUDGET.istore_slots),
+        ("line-rate fraction at budget", 1.0, round(at_budget, 3)),
+        ("line-rate fraction at 1.5x budget", "<1", round(over_budget, 3)),
+    ])
+    assert derived.cycles == pytest.approx(240, abs=15)
+    assert derived.sram_transfers == pytest.approx(24, abs=3)
+    assert at_budget > 0.97       # the budgeted VRP sustains line rate
+    assert over_budget < 0.97     # 1.5x the budget cannot

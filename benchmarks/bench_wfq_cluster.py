@@ -1,0 +1,78 @@
+"""Evaluation of two things the paper deferred:
+
+* Section 3.4.1's input-side WFQ approximation ("We have not evaluated
+  this in detail") -- measured here on a congested output port.
+* Section 6's multi-router cluster budget arithmetic, plus a live
+  two-member cluster forwarding across its internal gigabit switch.
+"""
+
+from conftest import report, run_once
+
+from repro.core.cluster import RouterCluster, cluster_vrp_budget
+from repro.core.router import Router, RouterConfig
+from repro.core.wfq import InputSideWFQ
+from repro.net.traffic import flow_stream, take
+
+
+def run_wfq(weights=(3.0, 1.0), count=120):
+    wfq = InputSideWFQ(num_priorities=4)
+    wfq.add_class("heavy", weights[0], lambda p: p.tcp is not None and p.tcp.src_port == 1111)
+    wfq.add_class("light", weights[1], lambda p: p.tcp is not None and p.tcp.src_port == 2222)
+    router = Router(RouterConfig(wfq=wfq, queue_capacity=8))
+    for port in range(10):
+        router.add_route(f"10.{port}.0.0", 16, port)
+    heavy = take(flow_stream(count, src_port=1111, out_port=1, payload_len=6), count)
+    light = take(flow_stream(count, src_port=2222, src="192.168.9.9", out_port=1, payload_len=6), count)
+    router.warm_route_cache([heavy[0].ip.dst, light[0].ip.dst])
+    router.inject(2, iter(heavy))
+    router.inject(3, iter(light))
+    router.run(2_500_000)
+    delivered = router.transmitted(1)
+    heavy_out = sum(1 for p in delivered if p.tcp.src_port == 1111)
+    light_out = sum(1 for p in delivered if p.tcp.src_port == 2222)
+    drops = sum(q.dropped for q in router.chip.bank.queues_for_port(1))
+    return heavy_out, light_out, drops
+
+
+def test_wfq_approximation(benchmark):
+    heavy, light, drops = run_once(benchmark, run_wfq)
+    ratio = heavy / max(1, light)
+    report(benchmark, "Input-side WFQ approximation (weights 3:1, 2x congestion)", [
+        ("heavy class delivered", None, heavy),
+        ("light class delivered", None, light),
+        ("delivered ratio", "~3 (FIFO: ~1)", round(ratio, 1)),
+        ("packets dropped (congestion real)", ">0", drops),
+    ])
+    assert drops > 0
+    assert 2.0 < ratio < 12.0
+    assert light > 0  # no starvation
+
+
+def run_cluster():
+    cluster = RouterCluster(num_routers=2)
+    cluster.add_route("10.1.0.0", 16, owner=0, out_port=1)
+    cluster.add_route("10.2.0.0", 16, owner=1, out_port=2)
+    for router in cluster.routers:
+        router.warm_route_cache(["10.1.0.1", "10.2.0.1"])
+    remote = take(flow_stream(10, dst="10.2.0.1", payload_len=6), 10)
+    cluster.inject(0, 0, iter(remote))
+    cluster.run(3_000_000)
+    return cluster
+
+
+def test_cluster_and_internal_budget(benchmark):
+    cluster = run_once(benchmark, run_cluster)
+    delivered = len(cluster.routers[1].transmitted(2))
+    budgets = {
+        fraction: cluster_vrp_budget(1.128e6, internal_fraction=fraction).cycles
+        for fraction in (0.0, 0.25, 0.5)
+    }
+    report(benchmark, "Section 6: cluster forwarding + internal-link budget", [
+        ("cross-member packets delivered", 10, delivered),
+        ("switch hops", 10, cluster.switch.forwarded),
+        ("VRP cycles, no internal traffic", 240, budgets[0.0]),
+        ("VRP cycles, internal at 25% of 1G", "fewer", budgets[0.25]),
+        ("VRP cycles, internal at 50% of 1G", "fewer still", budgets[0.5]),
+    ])
+    assert delivered == 10
+    assert budgets[0.0] > budgets[0.25] > budgets[0.5]

@@ -1,0 +1,41 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every module regenerates one table or figure from the paper's evaluation
+and prints a paper-vs-measured comparison.  Absolute agreement is not the
+goal (the substrate is a simulator, not the authors' testbed); each bench
+asserts the paper's qualitative *shape* -- orderings, scaling curves,
+crossover points -- and loose quantitative bands.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def report(
+    benchmark,
+    title: str,
+    rows: Sequence[tuple],
+    header: tuple = ("metric", "paper", "measured"),
+) -> None:
+    """Print a comparison table and attach it to the benchmark record."""
+    width = max(len(str(row[0])) for row in rows) + 2
+    print(f"\n== {title} ==")
+    print(f"{header[0]:<{width}} {header[1]:>12} {header[2]:>12}")
+    for row in rows:
+        name, paper, measured = row[:3]
+        print(f"{name:<{width}} {_fmt(paper):>12} {_fmt(measured):>12}")
+        benchmark.extra_info[str(name)] = {"paper": paper, "measured": measured}
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""A multi-router cluster behind a gigabit switch (the paper's section 6).
+
+"We next plan to construct a router from four Pentium/IXP pairs connected
+by a Gigabit Ethernet switch.  The main difference ... is that we will
+need to budget RI capacity to service packets arriving on the 'internal'
+link ... leaving fewer cycles for the VRP."
+
+Two member routers each own half the address space; traffic entering
+either member reaches prefixes owned by the other across the internal
+switch, and the section 6 budget arithmetic shows the VRP shrinking as
+the internal link carries more of the load.
+"""
+
+from repro.core.cluster import RouterCluster, cluster_vrp_budget
+from repro.net.traffic import flow_stream, take
+
+
+def main() -> None:
+    cluster = RouterCluster(num_routers=2)
+    cluster.add_route("10.1.0.0", 16, owner=0, out_port=1)
+    cluster.add_route("10.2.0.0", 16, owner=1, out_port=2)
+    for router in cluster.routers:
+        router.warm_route_cache(["10.1.0.1", "10.2.0.1"])
+
+    # Member 0 receives traffic for both halves of the space.
+    local = take(flow_stream(8, dst="10.1.0.1", payload_len=6), 8)
+    remote = take(flow_stream(8, dst="10.2.0.1", src_port=7777, payload_len=6), 8)
+    cluster.inject(0, 0, iter(local))
+    cluster.inject(0, 3, iter(remote))
+    cluster.run(2_500_000)
+
+    print("=== two-router cluster ===")
+    stats = cluster.stats()
+    print(f"member 0 delivered locally (port 1):   {len(cluster.routers[0].transmitted(1))}")
+    print(f"switch forwarded over the internal link: {stats['switch']['forwarded']}")
+    delivered = cluster.routers[1].transmitted(2)
+    print(f"member 1 delivered remotely (port 2):  {len(delivered)}")
+    print(f"TTL after two routing hops: {sorted({p.ip.ttl for p in delivered})}")
+
+    print("\nsection 6 budget arithmetic (VRP cycles per MP):")
+    for fraction in (0.0, 0.25, 0.5):
+        budget = cluster_vrp_budget(1.128e6, internal_fraction=fraction)
+        print(f"  internal link at {fraction:.0%} of 1 Gbps -> {budget.cycles} cycles")
+
+    assert len(cluster.routers[0].transmitted(1)) == 8
+    assert len(delivered) == 8
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""SYN-flood detection and response (the paper's SYN Monitor service).
+
+The data forwarder counts SYN arrivals at line rate (5 register
+operations + one 4-byte SRAM write per packet -- Table 5's cheapest
+entry); the control forwarder samples the counter, estimates the SYN
+rate, and on detecting an attack installs a port filter that drops the
+targeted service's traffic in the data plane, protecting everything
+behind the router without slowing the fast path.
+"""
+
+from repro import ALL, Router
+from repro.core.forwarders import port_filter, syn_monitor
+from repro.net.traffic import flow_stream, round_robin_merge, syn_flood, take
+
+ATTACK_THRESHOLD_SYNS = 20
+
+
+def main() -> None:
+    router = Router()
+    for port in range(10):
+        router.add_route(f"10.{port}.0.0", 16, port)
+
+    monitor_fid = router.install(ALL, syn_monitor())
+
+    # Mixed traffic: legitimate web flow to port 80 plus a SYN flood.
+    legit = take(flow_stream(15, out_port=1, dst_port=443, payload_len=6), 15)
+    attack = take(syn_flood(40, out_port=1), 40)
+    router.warm_route_cache([p.ip.dst for p in legit + attack])
+    router.inject(0, round_robin_merge(iter(legit), iter(attack)))
+    router.run(900_000)
+
+    syn_count = router.getdata(monitor_fid).get("syn_count", 0)
+    print("=== SYN flood defense ===")
+    print(f"SYNs counted by the data forwarder: {syn_count}")
+
+    if syn_count > ATTACK_THRESHOLD_SYNS:
+        print(f"threshold ({ATTACK_THRESHOLD_SYNS}) exceeded -> installing port filter on :80")
+        filter_fid = router.install(ALL, port_filter([(80, 80)]))
+    else:
+        raise SystemExit("no attack detected (unexpected)")
+
+    # Second wave: the filter now drops the attack in the data plane.
+    wave_legit = take(flow_stream(15, src="192.168.2.9", src_port=6001,
+                                  out_port=1, dst_port=443, payload_len=6), 15)
+    wave_attack = take(syn_flood(40, out_port=1, seed=99), 40)
+    router.warm_route_cache([p.ip.dst for p in wave_legit + wave_attack])
+    router.inject(1, round_robin_merge(iter(wave_legit), iter(wave_attack)))
+    router.run(900_000)
+
+    dropped = router.stats()["vrp_dropped"]
+    filtered = router.getdata(filter_fid).get("filtered", 0)
+    survivors = [p for p in router.transmitted(1) if p.tcp and p.tcp.dst_port == 443]
+    print(f"packets dropped in the data plane: {dropped} (filter counted {filtered})")
+    print(f"legitimate :443 packets delivered: {len(survivors)}")
+    assert filtered >= 40
+    assert len(survivors) == 30  # both waves of legitimate traffic
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The environment this project targets has no network access and no ``wheel``
+package, so PEP 517 editable installs fail; this shim lets
+``pip install -e .`` fall back to ``setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

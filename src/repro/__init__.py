@@ -1,0 +1,53 @@
+"""repro: a reproduction of "Building a Robust Software-Based Router
+Using Network Processors" (Spalink, Karlin, Peterson, Gottlieb; SOSP
+2001).
+
+Quickstart::
+
+    from repro import Router, ALL
+    from repro.core.forwarders import syn_monitor
+    from repro.net.traffic import uniform_flood
+
+    router = Router()
+    router.add_route("10.1.0.0", 16, 1)
+    fid = router.install(ALL, syn_monitor())
+    router.inject(0, uniform_flood(100, num_ports=1))
+    router.run(2_000_000)
+    print(router.getdata(fid))          # {'syn_count': ...}
+    print(len(router.transmitted(1)))   # forwarded packets
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core import (
+    AdmissionControl,
+    AdmissionError,
+    ForwarderSpec,
+    Router,
+    RouterConfig,
+    RouterInterface,
+    VRPBudget,
+    VRPProgram,
+    Where,
+)
+from repro.core.forwarder import ALL
+from repro.net import FlowKey, Packet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL",
+    "AdmissionControl",
+    "AdmissionError",
+    "FlowKey",
+    "ForwarderSpec",
+    "Packet",
+    "Router",
+    "RouterConfig",
+    "RouterInterface",
+    "VRPBudget",
+    "VRPProgram",
+    "Where",
+    "__version__",
+]

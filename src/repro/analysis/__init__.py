@@ -1,0 +1,24 @@
+"""Closed-form performance models and composite experiments.
+
+:mod:`repro.analysis.envelope` reproduces the paper's back-of-envelope
+arithmetic (section 3.5.1) so the simulator can be cross-checked against
+the published numbers; :mod:`repro.analysis.robustness` drives the
+whole-stack isolation experiments of section 4.7.
+"""
+
+from repro.analysis.envelope import Envelope, paper_envelope
+from repro.analysis.robustness import (
+    RobustnessResult,
+    full_suite_vrp,
+    run_exceptional_flood,
+    run_vrp_pentium_share,
+)
+
+__all__ = [
+    "Envelope",
+    "RobustnessResult",
+    "full_suite_vrp",
+    "paper_envelope",
+    "run_exceptional_flood",
+    "run_vrp_pentium_share",
+]

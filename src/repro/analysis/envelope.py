@@ -1,0 +1,100 @@
+"""The paper's closed-form performance arithmetic (section 3.5.1).
+
+"Given these instruction counts, each packet requires 280 cycles of
+register instructions, plus 180 (DRAM) + 90 (SRAM) + 160 (Scratch) = 430
+cycles of memory delay, which totals to 710 cycles. ... the system is
+able to forward a little over 12 packets in parallel. ... We calculate
+that one MicroEngine can process 200MHz / 280 cycles = 714Kpps for a
+system total of 4.29Mpps.  Our actual rate of 3.47Mpps is 80% of this
+optimistic upper bound."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ixp.params import DEFAULT_PARAMS, IXPParams
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """Derived closed-form quantities for a parameter set."""
+
+    register_cycles_per_packet: int
+    memory_delay_cycles_per_packet: int
+    total_cycles_per_packet: int
+    optimistic_bound_pps: float
+    measured_pps: float
+    efficiency: float
+    packets_in_parallel: float
+    aggregate_gbps_min_packets: float
+
+    def summary(self) -> str:
+        return (
+            f"{self.register_cycles_per_packet} register + "
+            f"{self.memory_delay_cycles_per_packet} memory = "
+            f"{self.total_cycles_per_packet} cycles/packet; "
+            f"bound {self.optimistic_bound_pps/1e6:.2f} Mpps, "
+            f"measured {self.measured_pps/1e6:.2f} Mpps "
+            f"({self.efficiency:.0%}), {self.packets_in_parallel:.1f} packets in flight"
+        )
+
+
+def memory_delay_per_packet(params: IXPParams = DEFAULT_PARAMS) -> int:
+    """Table 2's memory-operation counts priced at Table 3's latencies.
+
+    Input per MP: DRAM 0r/2w, SRAM 2r/1w, Scratch 2r/4w.
+    Output per MP: DRAM 2r/0w, SRAM 0r/1w, Scratch 2r/2w.
+    """
+    dram = 2 * params.dram.write_latency + 2 * params.dram.read_latency
+    sram = (2 * params.sram.read_latency + 1 * params.sram.write_latency) + (
+        1 * params.sram.write_latency
+    )
+    scratch = (2 * params.scratch.read_latency + 4 * params.scratch.write_latency) + (
+        2 * params.scratch.read_latency + 2 * params.scratch.write_latency
+    )
+    return dram + sram + scratch
+
+
+def paper_envelope(
+    measured_pps: float = 3.47e6,
+    params: IXPParams = DEFAULT_PARAMS,
+) -> Envelope:
+    """The published arithmetic, parameterized by the cost model."""
+    registers = params.cost.input_register_total + params.cost.output_register_total
+    memory = memory_delay_per_packet(params)
+    total = registers + memory
+    bound = params.num_microengines * params.clock_hz / registers
+    # Output interval at the measured rate vs per-packet latency gives
+    # the degree of parallelism ("a little over 12 packets").
+    interval_ns = 1e9 / measured_pps
+    latency_ns = total * params.cycle_ns
+    # Aggregate link bandwidth for minimum-sized frames (the 1.77 Gbps
+    # headline): 64 bytes on the wire per packet.
+    aggregate_gbps = measured_pps * 64 * 8 / 1e9
+    return Envelope(
+        register_cycles_per_packet=registers,
+        memory_delay_cycles_per_packet=memory,
+        total_cycles_per_packet=total,
+        optimistic_bound_pps=bound,
+        measured_pps=measured_pps,
+        efficiency=measured_pps / bound,
+        packets_in_parallel=latency_ns / interval_ns,
+        aggregate_gbps_min_packets=aggregate_gbps,
+    )
+
+
+def dram_bandwidth_check(params: IXPParams = DEFAULT_PARAMS) -> dict:
+    """Section 2.2's bandwidth sanity arithmetic."""
+    dram_gbps = 64 * 100e6 / 1e9  # 64-bit x 100 MHz
+    ports_gbps = 2 * (8 * 0.1 + 2 * 1.0)  # send+receive of all ports
+    ix_bus_gbps = 4.0
+    sram_gbps = 32 * 100e6 / 1e9
+    return {
+        "dram_gbps": dram_gbps,
+        "ports_send_receive_gbps": ports_gbps,
+        "ix_bus_peak_gbps": ix_bus_gbps,
+        "sram_gbps": sram_gbps,
+        "dram_covers_ports": dram_gbps > ports_gbps,
+        "ix_bus_covers_ports": ix_bus_gbps > ports_gbps,
+    }

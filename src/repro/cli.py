@@ -1,0 +1,181 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+::
+
+    python -m repro list                 # what can be run
+    python -m repro table1               # one experiment
+    python -m repro fig9 --window 150000
+    python -m repro envelope             # closed-form arithmetic
+    python -m repro plan 100 100 1000    # resource model for port speeds (Mbps)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+
+def _print_table(title: str, rows: List[tuple]) -> None:
+    print(f"\n== {title} ==")
+    width = max((len(str(r[0])) for r in rows), default=10) + 2
+    for name, value in rows:
+        print(f"{name:<{width}} {value}")
+
+
+def cmd_table1(args) -> None:
+    from repro.ixp.workbench import table1_rows
+
+    rows = table1_rows(window=args.window)
+    paper = {"I.1": 3.75, "I.2": 3.47, "I.3": 1.67, "O.1": 3.78, "O.2": 3.41, "O.3": 3.29}
+    _print_table(
+        "Table 1: queueing disciplines (Mpps, paper in parens)",
+        [(name, f"{mpps:5.2f}  ({paper[name.split()[0]]})") for name, mpps in rows.items()],
+    )
+
+
+def cmd_fig7(args) -> None:
+    from repro.ixp.workbench import figure7_series
+
+    inputs, outputs = figure7_series(window=args.window)
+    _print_table("Figure 7: input stage (Mpps)", [(f"{n} contexts", f"{v:.2f}") for n, v in inputs.items()])
+    _print_table("Figure 7: output stage (Mpps)", [(f"{n} contexts", f"{v:.2f}") for n, v in outputs.items()])
+
+
+def cmd_fig9(args) -> None:
+    from repro.ixp.workbench import figure9_series
+
+    series = figure9_series(window=args.window)
+    for flavour, points in series.items():
+        _print_table(f"Figure 9: {flavour} (Mpps)", [(f"{b} blocks", f"{v:.2f}") for b, v in points.items()])
+
+
+def cmd_fig10(args) -> None:
+    from repro.ixp.workbench import figure10_series
+
+    series = figure10_series(window=args.window)
+    _print_table(
+        "Figure 10: per-packet time (us): free / contended",
+        [(f"{b} blocks", f"{free:.3f} / {jam:.3f}") for b, (free, jam) in series.items()],
+    )
+
+
+def cmd_table4(args) -> None:
+    from repro.hosts.harness import measure_pentium_path
+
+    for size in (64, 1500):
+        m = measure_pentium_path(size, window=args.window * (3 if size == 1500 else 1))
+        _print_table(f"Table 4 ({size}-byte packets)", [
+            ("rate (Kpps)", f"{m.rate_pps/1e3:.1f}"),
+            ("Pentium spare cycles", f"{m.pentium_spare_cycles:.0f}"),
+            ("StrongARM spare cycles", f"{m.strongarm_spare_cycles:.0f}"),
+        ])
+
+
+def cmd_paths(args) -> None:
+    from repro.hosts.harness import measure_pentium_path, measure_strongarm_path
+    from repro.ixp.workbench import measure_system_rate
+
+    _print_table("Switching paths", [
+        ("A: MicroEngines (Mpps)", f"{measure_system_rate(window=args.window).output_pps/1e6:.2f}"),
+        ("B: StrongARM (Kpps)", f"{measure_strongarm_path(window=args.window)/1e3:.0f}"),
+        ("C: Pentium (Kpps)", f"{measure_pentium_path(64, window=args.window).rate_pps/1e3:.0f}"),
+    ])
+
+
+def cmd_robustness(args) -> None:
+    from repro.analysis import run_vrp_pentium_share
+
+    rows = []
+    for every in (8, 4, 3, 2):
+        r = run_vrp_pentium_share(every, window=args.window)
+        rows.append((
+            f"share 1/{every}",
+            f"pentium={r.pentium_processed_pps/1e3:.0f}K lossless={r.lossless}",
+        ))
+    _print_table("Robustness: Pentium share of 1.128 Mpps (paper max: 310K)", rows)
+
+
+def cmd_envelope(args) -> None:
+    from repro.analysis import paper_envelope
+    from repro.analysis.envelope import dram_bandwidth_check
+
+    env = paper_envelope()
+    _print_table("Closed-form envelope", [
+        ("register cycles/packet", env.register_cycles_per_packet),
+        ("memory delay cycles/packet", env.memory_delay_cycles_per_packet),
+        ("optimistic bound (Mpps)", f"{env.optimistic_bound_pps/1e6:.2f}"),
+        ("efficiency at 3.47 Mpps", f"{env.efficiency:.0%}"),
+        ("packets in parallel", f"{env.packets_in_parallel:.1f}"),
+        ("aggregate Gbps (64B)", f"{env.aggregate_gbps_min_packets:.2f}"),
+    ])
+    _print_table("Bandwidth sanity (section 2.2)", list(dram_bandwidth_check().items()))
+
+
+def cmd_report(args) -> None:
+    from repro.analysis.report import generate_report
+
+    print(generate_report(quick=not args.full))
+
+
+def cmd_plan(args) -> None:
+    from repro.core.resource_model import plan
+    from repro.net.mac import PortSpeed
+
+    speeds = []
+    for mbps in args.speeds:
+        if mbps == 100:
+            speeds.append(PortSpeed.MBPS_100)
+        elif mbps == 1000:
+            speeds.append(PortSpeed.GBPS_1)
+        else:
+            raise SystemExit(f"unsupported port speed {mbps} Mbps (100 or 1000)")
+    partition = plan(speeds, headroom=args.headroom)
+    print(partition.summary())
+    for port in range(len(speeds)):
+        contexts = partition.contexts_for_port(port)
+        print(f"  port {port} ({args.speeds[port]} Mbps): contexts {contexts}")
+
+
+COMMANDS: Dict[str, Callable] = {
+    "table1": cmd_table1,
+    "fig7": cmd_fig7,
+    "fig9": cmd_fig9,
+    "fig10": cmd_fig10,
+    "table4": cmd_table4,
+    "paths": cmd_paths,
+    "robustness": cmd_robustness,
+    "envelope": cmd_envelope,
+    "plan": cmd_plan,
+    "report": cmd_report,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce experiments from 'Building a Robust Software-Based "
+        "Router Using Network Processors' (SOSP 2001).",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available experiments")
+    for name in ("table1", "fig7", "fig9", "fig10", "table4", "paths", "robustness", "envelope"):
+        p = sub.add_parser(name, help=f"run the {name} experiment")
+        p.add_argument("--window", type=int, default=150_000,
+                       help="measurement window in cycles (default 150000)")
+    plan_parser = sub.add_parser("plan", help="resource model for a port configuration")
+    plan_parser.add_argument("speeds", nargs="+", type=int, help="port speeds in Mbps (100 or 1000)")
+    plan_parser.add_argument("--headroom", type=float, default=1.0)
+    report_parser = sub.add_parser("report", help="full paper-vs-measured markdown report")
+    report_parser.add_argument("--full", action="store_true", help="benchmark-fidelity windows")
+
+    args = parser.parse_args(argv)
+    if args.command in (None, "list"):
+        print("experiments:", ", ".join(COMMANDS))
+        return 0
+    COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

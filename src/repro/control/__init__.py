@@ -1,0 +1,20 @@
+"""Control-plane protocols running on the Pentium.
+
+The paper's control plane is "where signalling protocols like RSVP, OSPF,
+and LDP run", and its scheduler "allocate[s] sufficient cycles to the
+OSPF control protocol to ensure that it is able to update the routing
+table at an acceptable rate" (section 4.1).  This package provides a
+link-state routing protocol in that mold: LSA origination and flooding,
+a link-state database, Dijkstra SPF, and route programming into the
+router's table (which bumps the generation and invalidates the
+MicroEngines' route cache).
+"""
+
+from repro.control.linkstate import (
+    LinkStateAd,
+    LinkStateNode,
+    LinkStateNetwork,
+    SPF_BASE_CYCLES,
+)
+
+__all__ = ["LinkStateAd", "LinkStateNetwork", "LinkStateNode", "SPF_BASE_CYCLES"]

@@ -1,0 +1,92 @@
+"""Binding the link-state protocol to a live router.
+
+LSAs travel as real packets: the classifier matches the neighbor's flow
+and hands them up the hierarchy to a Pentium control forwarder, which
+parses the LSA, updates the link-state database, reruns SPF and programs
+the routing table -- bumping the table generation so the MicroEngines'
+route cache self-invalidates.  The forwarder is registered with a
+proportional share, realizing section 4.1's "we allocate sufficient
+cycles to the OSPF control protocol to ensure that it is able to update
+the routing table at an acceptable rate".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.control.linkstate import LSA_PROCESS_CYCLES, LinkStateNode
+from repro.core.forwarder import ForwarderSpec, Where
+from repro.net.addresses import IPv4Address
+from repro.net.packet import FlowKey, Packet, make_udp_like_packet
+
+ALL_ROUTERS_ADDR = "224.0.0.5"  # the OSPF AllSPFRouters group
+
+
+def make_lsa_packet(lsa_bytes: bytes, src: str, dst: str = ALL_ROUTERS_ADDR) -> Packet:
+    """An LSA riding a real packet (protocol carried as raw payload).
+
+    Real OSPF uses TTL 1; here the general minimal-IP forwarder applies
+    its TTL check to every packet (the paper's serial-generals design),
+    so control packets carry a normal TTL and are consumed by the control
+    forwarder rather than expiring in the data plane.
+    """
+    return make_udp_like_packet(src, dst, payload=lsa_bytes, ttl=64)
+
+
+class ControlPlaneBinding:
+    """Wires a :class:`LinkStateNode` into a Router's control plane."""
+
+    def __init__(self, router, node: LinkStateNode, tickets: int = 300):
+        self.router = router
+        self.node = node
+        self.lsas_received = 0
+        self.route_programs = 0
+        self._fids: Dict[str, int] = {}
+        node.charge_cycles = self._charge
+        self._pentium_cycles_charged = 0
+
+    def _charge(self, cycles: int) -> None:
+        self._pentium_cycles_charged += cycles
+        if self.router.pentium is not None:
+            self.router.pentium.busy_pentium_cycles += cycles
+
+    def listen_to_neighbor(self, neighbor_src: str, tickets: int = 300) -> int:
+        """Install the control forwarder for LSAs arriving from
+        ``neighbor_src`` (one per-flow binding per neighbor)."""
+        spec = ForwarderSpec(
+            name=f"ospf-{neighbor_src}",
+            where=Where.PE,
+            cycles=LSA_PROCESS_CYCLES,
+            action=self._process,
+            expected_pps=1_000,
+            expected_cycles_per_packet=LSA_PROCESS_CYCLES,
+        )
+        key = FlowKey(IPv4Address(neighbor_src), 0, IPv4Address(ALL_ROUTERS_ADDR), 0)
+        fid = self.router.install(key, spec)
+        if self.router.scheduler is not None:
+            # Raise the protocol's share above the default.
+            flow = self.router.scheduler._flows.get(spec.name)
+            if flow is not None:
+                flow.tickets = tickets
+        self._fids[neighbor_src] = fid
+        return fid
+
+    def _process(self, packet: Packet) -> bool:
+        """The control forwarder body: parse, flood bookkeeping, SPF,
+        route programming.  Consumes the packet (returns False)."""
+        self.lsas_received += 1
+        changed = self.node.receive(bytes(packet.payload))
+        if changed:
+            self._program_routes()
+        return False
+
+    def _program_routes(self) -> None:
+        for (prefix, length), (__, out_port) in self.node.routes.items():
+            self.router.routing_table.add(prefix, length, out_port)
+            self.route_programs += 1
+        # The generation bump invalidates stale route-cache entries on
+        # its own; nothing else to do.
+
+    @property
+    def pentium_cycles_charged(self) -> int:
+        return self._pentium_cycles_charged

@@ -1,0 +1,236 @@
+"""A link-state routing protocol (OSPF-style) for the control plane.
+
+Each node originates a Link State Advertisement describing its links
+(neighbor router ids with costs) and attached networks (prefixes behind
+its ports), floods it reliably to its neighbors, maintains a link-state
+database, and runs Dijkstra shortest-path-first over the resulting graph
+to program routes: remote networks are reached via the port facing the
+first hop of the shortest path.
+
+The protocol is transport-agnostic -- LSAs are byte-serializable and the
+delivery function is pluggable -- so the same code runs over direct
+callables in unit tests and over real packets through the router's
+exceptional path in the integration scenario.  SPF is the classic
+"compute-intensive program" the paper contrasts with the data plane; its
+cycle cost is charged to the Pentium when attached to a router.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import networkx
+
+# "the control plane often runs compute-intensive programs, such as the
+# shortest-path algorithm" -- the cost charged per SPF run, plus a per-
+# node term.
+SPF_BASE_CYCLES = 20_000
+SPF_PER_NODE_CYCLES = 3_000
+LSA_PROCESS_CYCLES = 1_200
+
+
+@dataclass(frozen=True)
+class LinkStateAd:
+    """One router's view of its links and attached networks."""
+
+    router_id: int
+    sequence: int
+    neighbors: Tuple[Tuple[int, int], ...]           # (router_id, cost)
+    networks: Tuple[Tuple[str, int, int], ...]       # (prefix, length, port)
+
+    def to_bytes(self) -> bytes:
+        return json.dumps({
+            "router_id": self.router_id,
+            "sequence": self.sequence,
+            "neighbors": list(self.neighbors),
+            "networks": list(self.networks),
+        }).encode()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "LinkStateAd":
+        raw = json.loads(data.decode())
+        return cls(
+            router_id=raw["router_id"],
+            sequence=raw["sequence"],
+            neighbors=tuple((int(a), int(b)) for a, b in raw["neighbors"]),
+            networks=tuple((str(p), int(l), int(port)) for p, l, port in raw["networks"]),
+        )
+
+
+class LinkStateNode:
+    """One protocol instance (one router's control plane)."""
+
+    def __init__(
+        self,
+        router_id: int,
+        send: Optional[Callable[[int, bytes], None]] = None,
+        charge_cycles: Optional[Callable[[int], None]] = None,
+    ):
+        self.router_id = router_id
+        self.send = send or (lambda neighbor, data: None)
+        self.charge_cycles = charge_cycles or (lambda cycles: None)
+        self.sequence = 0
+        self.neighbors: Dict[int, int] = {}            # id -> cost
+        self.networks: List[Tuple[str, int, int]] = []  # (prefix, len, port)
+        self.port_to_neighbor: Dict[int, int] = {}      # local port -> neighbor id
+        self.lsdb: Dict[int, LinkStateAd] = {}
+        self.routes: Dict[Tuple[str, int], Tuple[int, int]] = {}  # (prefix,len)->(nexthop,port)
+        self.spf_runs = 0
+        self.lsas_processed = 0
+        self.flooded = 0
+
+    # -- topology configuration ------------------------------------------------
+
+    def add_link(self, neighbor_id: int, cost: int = 1, via_port: int = 0) -> None:
+        if cost <= 0:
+            raise ValueError("link cost must be positive")
+        self.neighbors[neighbor_id] = cost
+        self.port_to_neighbor[via_port] = neighbor_id
+
+    def attach_network(self, prefix: str, length: int, port: int) -> None:
+        self.networks.append((prefix, length, port))
+
+    def port_toward(self, neighbor_id: int) -> int:
+        for port, nid in self.port_to_neighbor.items():
+            if nid == neighbor_id:
+                return port
+        raise KeyError(f"no port toward router {neighbor_id}")
+
+    # -- protocol ----------------------------------------------------------------
+
+    def originate(self) -> LinkStateAd:
+        """Create and flood a fresh LSA for this node."""
+        self.sequence += 1
+        lsa = LinkStateAd(
+            router_id=self.router_id,
+            sequence=self.sequence,
+            neighbors=tuple(sorted(self.neighbors.items())),
+            networks=tuple(self.networks),
+        )
+        self._install(lsa)
+        self._flood(lsa, exclude=None)
+        return lsa
+
+    def receive(self, data: bytes, from_neighbor: Optional[int] = None) -> bool:
+        """Process a received LSA; returns True if it was new (installed
+        and re-flooded)."""
+        lsa = LinkStateAd.from_bytes(data)
+        self.lsas_processed += 1
+        self.charge_cycles(LSA_PROCESS_CYCLES)
+        current = self.lsdb.get(lsa.router_id)
+        if current is not None and current.sequence >= lsa.sequence:
+            return False  # stale or duplicate: do not re-flood
+        self._install(lsa)
+        self._flood(lsa, exclude=from_neighbor)
+        return True
+
+    def _flood(self, lsa: LinkStateAd, exclude: Optional[int]) -> None:
+        for neighbor_id in self.neighbors:
+            if neighbor_id == exclude:
+                continue
+            self.flooded += 1
+            self.send(neighbor_id, lsa.to_bytes())
+
+    def _install(self, lsa: LinkStateAd) -> None:
+        self.lsdb[lsa.router_id] = lsa
+        self._run_spf()
+
+    # -- SPF --------------------------------------------------------------------------
+
+    def _run_spf(self) -> None:
+        """Dijkstra over the LSDB; program next hops for every network."""
+        self.spf_runs += 1
+        graph = networkx.DiGraph()
+        for lsa in self.lsdb.values():
+            for neighbor_id, cost in lsa.neighbors:
+                graph.add_edge(lsa.router_id, neighbor_id, weight=cost)
+        self.charge_cycles(SPF_BASE_CYCLES + SPF_PER_NODE_CYCLES * graph.number_of_nodes())
+
+        self.routes = {}
+        if self.router_id in graph:
+            paths = networkx.single_source_dijkstra_path(graph, self.router_id)
+        else:
+            # Isolated node (no links yet): only its own networks resolve.
+            paths = {self.router_id: [self.router_id]}
+        for lsa in self.lsdb.values():
+            for prefix, length, remote_port in lsa.networks:
+                if lsa.router_id == self.router_id:
+                    self.routes[(prefix, length)] = (self.router_id, remote_port)
+                    continue
+                path = paths.get(lsa.router_id)
+                if path is None or len(path) < 2:
+                    continue  # unreachable
+                next_hop = path[1]
+                try:
+                    out_port = self.port_toward(next_hop)
+                except KeyError:
+                    continue
+                self.routes[(prefix, length)] = (next_hop, out_port)
+
+    def converged_with(self, other: "LinkStateNode") -> bool:
+        return (
+            set(self.lsdb) == set(other.lsdb)
+            and all(self.lsdb[k].sequence == other.lsdb[k].sequence for k in self.lsdb)
+        )
+
+
+class LinkStateNetwork:
+    """A set of nodes wired directly (callable transport) -- the unit-test
+    and simulation harness.  For packet transport through real routers,
+    construct nodes with a custom ``send``."""
+
+    def __init__(self):
+        self.nodes: Dict[int, LinkStateNode] = {}
+        self._inflight: List[Tuple[int, int, bytes]] = []
+        self.messages = 0
+
+    def add_node(self, router_id: int) -> LinkStateNode:
+        if router_id in self.nodes:
+            raise ValueError(f"router {router_id} already exists")
+        node = LinkStateNode(
+            router_id,
+            send=lambda neighbor, data, me=router_id: self._enqueue(me, neighbor, data),
+        )
+        self.nodes[router_id] = node
+        return node
+
+    def connect(self, a: int, b: int, cost: int = 1, port_a: int = 0, port_b: int = 0) -> None:
+        self.nodes[a].add_link(b, cost, via_port=port_a)
+        self.nodes[b].add_link(a, cost, via_port=port_b)
+
+    def _enqueue(self, sender: int, receiver: int, data: bytes) -> None:
+        self._inflight.append((sender, receiver, data))
+        self.messages += 1
+
+    def deliver_all(self, max_rounds: int = 1000) -> int:
+        """Deliver queued LSAs until quiescent; returns messages moved."""
+        moved = 0
+        rounds = 0
+        while self._inflight:
+            rounds += 1
+            if rounds > max_rounds:
+                raise RuntimeError("flooding did not quiesce")
+            sender, receiver, data = self._inflight.pop(0)
+            node = self.nodes.get(receiver)
+            if node is not None:
+                node.receive(data, from_neighbor=sender)
+            moved += 1
+        return moved
+
+    def converge(self) -> int:
+        """Originate everywhere and flood to quiescence."""
+        for node in self.nodes.values():
+            node.originate()
+        return self.deliver_all()
+
+    def program_router(self, router_id: int, router) -> int:
+        """Install the node's computed routes into a Router's table;
+        returns the number of routes programmed."""
+        node = self.nodes[router_id]
+        count = 0
+        for (prefix, length), (__, out_port) in node.routes.items():
+            router.add_route(prefix, length, out_port)
+            count += 1
+        return count

@@ -1,0 +1,56 @@
+"""The router architecture: the paper's primary contribution.
+
+The data plane is a *classifier -> forwarder(s) -> output scheduler*
+pipeline (section 2.1) spread across a three-level processor hierarchy.
+MicroEngine capacity is statically split between a fixed Router
+Infrastructure (RI) and a budgeted Virtual Router Processor (VRP) that
+runs extension code on every MP; admission control statically verifies
+extensions against the VRP budget before `install` binds them to flows.
+
+Public surface:
+
+* :class:`~repro.core.router.Router` -- the assembled router.
+* :class:`~repro.core.vrp.VRPProgram` / ops -- the micro-op IR extensions
+  are written in.
+* :class:`~repro.core.vrp.VRPBudget` -- the per-MP resource budget.
+* :class:`~repro.core.admission.AdmissionControl` -- static verification.
+* :class:`~repro.core.interface.RouterInterface` -- the four-operation
+  control API (install / remove / getdata / setdata).
+* :mod:`repro.core.forwarders` -- the paper's example data forwarders.
+"""
+
+from repro.core.admission import AdmissionControl, AdmissionError
+from repro.core.classifier import Classifier, FlowTable
+from repro.core.forwarder import ForwarderSpec, Where
+from repro.core.interface import RouterInterface
+from repro.core.router import Router, RouterConfig
+from repro.core.vrp import (
+    HashOp,
+    JumpForward,
+    RegOps,
+    SramRead,
+    SramWrite,
+    VRPBudget,
+    VRPProgram,
+    VRPVerificationError,
+)
+
+__all__ = [
+    "AdmissionControl",
+    "AdmissionError",
+    "Classifier",
+    "FlowTable",
+    "ForwarderSpec",
+    "HashOp",
+    "JumpForward",
+    "RegOps",
+    "Router",
+    "RouterConfig",
+    "RouterInterface",
+    "SramRead",
+    "SramWrite",
+    "VRPBudget",
+    "VRPProgram",
+    "VRPVerificationError",
+    "Where",
+]

@@ -1,0 +1,190 @@
+"""Admission control: static verification before install (section 4.6).
+
+For MicroEngine forwarders the mechanism inspects the code to determine
+its cycle and memory requirements (trivial, because the VRP IR has no
+backward jumps), then checks:
+
+* general forwarders run in *series* -- the sum of all general costs,
+  plus the classifier's own cost, must fit the VRP budget;
+* per-flow forwarders run logically in *parallel* -- only the most
+  expensive one counts (at most one per-flow forwarder applies to any
+  packet);
+* there must be ISTORE room on every input engine.
+
+For the StrongARM: enough capacity must remain to meet its obligation to
+ferry packets to the Pentium (the prototype reserves *all* SA capacity
+for bridging, so local forwarders are off by default).  For the Pentium:
+each forwarder declares an expected packet rate and cycles/packet; the
+total cycle rate must fit the processor and the total packet rate must
+stay below what the I2O path can sustain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.classifier import (
+    CLASSIFIER_HASHES,
+    CLASSIFIER_INSTRUCTIONS,
+    CLASSIFIER_SRAM_BYTES,
+    FlowTable,
+)
+from repro.core.forwarder import ALL, ForwarderSpec, Where
+from repro.core.vrp import PROTOTYPE_BUDGET, VRPBudget, VRPCost
+
+
+class AdmissionError(RuntimeError):
+    """The forwarder cannot be installed without violating robustness."""
+
+
+@dataclass
+class PentiumCapacity:
+    """What the Pentium path can absorb (Table 4)."""
+
+    clock_hz: float = 733e6
+    max_pps: float = 534e3
+    # Fraction of the processor reserved for the control plane itself
+    # (routing protocols, management) rather than data forwarders.
+    control_reserve: float = 0.2
+
+    @property
+    def cycle_budget_per_second(self) -> float:
+        return self.clock_hz * (1.0 - self.control_reserve)
+
+
+@dataclass
+class StrongARMCapacity:
+    clock_hz: float = 200e6
+    # "our current implementation allocates all of the capacity on the
+    # StrongARM to passing messages up to the Pentium."
+    local_forwarder_fraction: float = 0.0
+
+
+class AdmissionControl:
+    """Gatekeeper consulted by RouterInterface.install."""
+
+    def __init__(
+        self,
+        budget: VRPBudget = PROTOTYPE_BUDGET,
+        pentium: Optional[PentiumCapacity] = None,
+        strongarm: Optional[StrongARMCapacity] = None,
+    ):
+        self.budget = budget
+        self.pentium = pentium or PentiumCapacity()
+        self.strongarm = strongarm or StrongARMCapacity()
+        self.rejections: List[str] = []
+
+    # -- helpers -----------------------------------------------------------------
+
+    @staticmethod
+    def classifier_cost() -> VRPCost:
+        return VRPCost(
+            cycles=CLASSIFIER_INSTRUCTIONS,
+            sram_read_bytes=CLASSIFIER_SRAM_BYTES,
+            sram_transfers=CLASSIFIER_SRAM_BYTES // 4,
+            hashes=CLASSIFIER_HASHES,
+            instructions=CLASSIFIER_INSTRUCTIONS,
+        )
+
+    @staticmethod
+    def _combine(costs: List[VRPCost]) -> VRPCost:
+        total = VRPCost()
+        for cost in costs:
+            total.cycles += cost.cycles
+            total.sram_read_bytes += cost.sram_read_bytes
+            total.sram_write_bytes += cost.sram_write_bytes
+            total.sram_transfers += cost.sram_transfers
+            total.hashes += cost.hashes
+            total.instructions += cost.instructions
+        return total
+
+    def _reject(self, message: str) -> None:
+        self.rejections.append(message)
+        raise AdmissionError(message)
+
+    # -- the checks ------------------------------------------------------------------
+
+    def check(self, key, spec: ForwarderSpec, table: FlowTable, istores=None) -> None:
+        """Raises AdmissionError if installing ``spec`` under ``key``
+        would violate the budget; returns silently when admitted."""
+        if spec.where is Where.ME:
+            self._check_microengine(key, spec, table, istores)
+        elif spec.where is Where.SA:
+            self._check_strongarm(spec)
+        else:
+            self._check_pentium(spec, table)
+
+    def _check_microengine(self, key, spec: ForwarderSpec, table: FlowTable, istores) -> None:
+        program = spec.program
+        if program is None:
+            self._reject(f"{spec.name}: ME forwarder without a program")
+        cost = program.cost()  # verification happened at construction
+
+        general_costs = [
+            e.spec.program.cost()
+            for e in table.general_entries
+            if e.spec.where is Where.ME and e.spec.program is not None
+        ]
+        per_flow_costs = [
+            e.spec.program.cost()
+            for e in table.per_flow_entries
+            if e.spec.where is Where.ME and e.spec.program is not None
+        ]
+
+        if key == ALL:
+            serial = self._combine([self.classifier_cost(), cost] + general_costs)
+            worst_per_flow = max((c.cycles for c in per_flow_costs), default=0)
+            serial.cycles += worst_per_flow
+        else:
+            # Only the most expensive per-flow forwarder counts; check the
+            # candidate against the serial baseline.
+            serial = self._combine([self.classifier_cost(), cost] + general_costs)
+
+        ok, reason = self.budget.check(serial, registers_needed=program.registers_needed)
+        if not ok:
+            self._reject(f"{spec.name}: VRP budget exceeded ({reason})")
+
+        if istores:
+            needed = program.instruction_count()
+            for store in istores:
+                if needed > store.free_slots:
+                    self._reject(
+                        f"{spec.name}: needs {needed} ISTORE slots, only "
+                        f"{store.free_slots} free on an input engine"
+                    )
+
+    def _check_strongarm(self, spec: ForwarderSpec) -> None:
+        if self.strongarm.local_forwarder_fraction <= 0.0:
+            self._reject(
+                f"{spec.name}: the StrongARM's capacity is reserved for "
+                "bridging packets to the Pentium (section 4.6)"
+            )
+        available = self.strongarm.clock_hz * self.strongarm.local_forwarder_fraction
+        demand = spec.expected_pps * max(spec.cycles, spec.expected_cycles_per_packet)
+        if demand > available:
+            self._reject(
+                f"{spec.name}: needs {demand:.0f} StrongARM cycles/s, "
+                f"{available:.0f} available"
+            )
+
+    def _check_pentium(self, spec: ForwarderSpec, table: FlowTable) -> None:
+        existing = [
+            e.spec for e in table.general_entries + table.per_flow_entries
+            if e.spec.where is Where.PE
+        ]
+        total_pps = spec.expected_pps + sum(s.expected_pps for s in existing)
+        if total_pps > self.pentium.max_pps:
+            self._reject(
+                f"{spec.name}: total expected packet rate {total_pps:.0f} pps "
+                f"exceeds the Pentium path maximum {self.pentium.max_pps:.0f} pps"
+            )
+        cycle_rate = spec.expected_pps * max(spec.cycles, spec.expected_cycles_per_packet)
+        cycle_rate += sum(
+            s.expected_pps * max(s.cycles, s.expected_cycles_per_packet) for s in existing
+        )
+        if cycle_rate > self.pentium.cycle_budget_per_second:
+            self._reject(
+                f"{spec.name}: total cycle rate {cycle_rate:.0f}/s exceeds the "
+                f"Pentium budget {self.pentium.cycle_budget_per_second:.0f}/s"
+            )

@@ -1,0 +1,204 @@
+"""The packet classifier and flow table (sections 2.1, 4.5).
+
+"The classification code ... first validates the headers, then hashes
+the IP and TCP headers separately.  The two hashed values are combined to
+index into a table that contains metadata for the flow: the key, where
+the forwarder is to run, a reference to the forwarder ... and the
+addresses of the forwarder's state in SRAM.  This classification process
+requires 56 instructions and accesses 20 bytes of SRAM; this code is
+counted against the VRP budget."
+
+Per-flow forwarders logically run in parallel (one per packet, the most
+expensive counting against the budget); general forwarders run in series
+on every packet, ending with minimal IP.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.forwarder import ALL, ForwarderSpec, Where
+from repro.core.vrp import VRPProgram
+from repro.ixp.programs import TimedVRP
+from repro.net.packet import FlowKey, Packet
+
+# The classifier's own cost, charged against the VRP budget (section 4.5).
+CLASSIFIER_INSTRUCTIONS = 56
+CLASSIFIER_SRAM_BYTES = 20
+CLASSIFIER_HASHES = 2  # IP headers and TCP headers hashed separately
+
+_fid_counter = itertools.count(1)
+
+
+@dataclass
+class FlowEntry:
+    """One row of the flow metadata table the StrongARM maintains."""
+
+    fid: int
+    key: object                   # FlowKey or ALL
+    spec: ForwarderSpec
+    state: Dict = field(default_factory=dict)
+    sram_addr: int = 0
+    istore_offset: int = 0
+    packets_matched: int = 0
+
+    @property
+    def is_general(self) -> bool:
+        return self.key == ALL
+
+
+class FlowTable:
+    """install()'s backing store: per-flow entries keyed by 4-tuple plus
+    an ordered list of general (ALL) entries."""
+
+    def __init__(self):
+        self._per_flow: Dict[Tuple, FlowEntry] = {}
+        self._general: List[FlowEntry] = []
+        self._by_fid: Dict[int, FlowEntry] = {}
+
+    def add(self, key, spec: ForwarderSpec, sram_addr: int = 0, istore_offset: int = 0) -> FlowEntry:
+        entry = FlowEntry(
+            fid=next(_fid_counter),
+            key=key,
+            spec=spec,
+            state=dict(spec.initial_state),
+            sram_addr=sram_addr,
+            istore_offset=istore_offset,
+        )
+        if key == ALL:
+            self._general.append(entry)
+        else:
+            tuple_key = tuple(key)
+            if tuple_key in self._per_flow:
+                raise ValueError(f"flow {key} already has a per-flow forwarder")
+            self._per_flow[tuple_key] = entry
+        self._by_fid[entry.fid] = entry
+        return entry
+
+    def remove(self, fid: int) -> FlowEntry:
+        entry = self._by_fid.pop(fid, None)
+        if entry is None:
+            raise KeyError(f"unknown fid {fid}")
+        if entry.is_general:
+            self._general.remove(entry)
+        else:
+            del self._per_flow[tuple(entry.key)]
+        return entry
+
+    def get(self, fid: int) -> FlowEntry:
+        entry = self._by_fid.get(fid)
+        if entry is None:
+            raise KeyError(f"unknown fid {fid}")
+        return entry
+
+    def match_per_flow(self, key: FlowKey) -> Optional[FlowEntry]:
+        return self._per_flow.get(tuple(key))
+
+    @property
+    def general_entries(self) -> List[FlowEntry]:
+        return list(self._general)
+
+    @property
+    def per_flow_entries(self) -> List[FlowEntry]:
+        return list(self._per_flow.values())
+
+    def __len__(self) -> int:
+        return len(self._by_fid)
+
+
+class Classifier:
+    """Functional classification + VRP compilation for the chip hooks."""
+
+    def __init__(self, flow_table: FlowTable):
+        self.flow_table = flow_table
+        self.validated = 0
+        self.validation_failures = 0
+        self._timed_cache: Dict[Tuple, TimedVRP] = {}
+        self._generation = 0
+
+    def invalidate(self) -> None:
+        """Flow table changed: recompile cached VRP timings."""
+        self._timed_cache.clear()
+        self._generation += 1
+
+    # -- functional path ---------------------------------------------------------
+
+    def classify_packet(self, packet: Packet) -> Dict:
+        """Returns the classification decision as packet metadata."""
+        self.validated += 1
+        ok, reason = packet.ip.validate()
+        if not ok:
+            self.validation_failures += 1
+            return {"drop": True, "reason": reason}
+        per_flow = self.flow_table.match_per_flow(packet.flow_key())
+        if per_flow is not None:
+            per_flow.packets_matched += 1
+            if per_flow.spec.where is not Where.ME:
+                target = "pentium" if per_flow.spec.where is Where.PE else "local"
+                return {
+                    "exceptional": True,
+                    "sa_target": target,
+                    "entry": per_flow,
+                }
+        return {"entry": per_flow}
+
+    # -- VRP compilation -----------------------------------------------------------
+
+    def timed_vrp_for(self, per_flow: Optional[FlowEntry]) -> TimedVRP:
+        """The per-MP VRP work for a packet: its per-flow program (if it
+        runs on the MicroEngines) plus every general program in series.
+
+        Results are cached per (per-flow fid, table generation).
+        """
+        cache_key = (per_flow.fid if per_flow is not None else 0, self._generation)
+        cached = self._timed_cache.get(cache_key)
+        if cached is not None:
+            return cached
+
+        reg = 0
+        reads = 0
+        writes = 0
+        hashes = 0
+        chain: List[Tuple] = []  # (action, entry) in execution order
+
+        def add_program(program: VRPProgram, entry: FlowEntry):
+            nonlocal reg, reads, writes, hashes
+            timed = program.to_timed()  # numbers only; actions chain below
+            reg += timed.reg_cycles
+            reads += timed.sram_reads
+            writes += timed.sram_writes
+            hashes += timed.hashes
+            if program.action is not None:
+                chain.append((program.action, entry))
+
+        if per_flow is not None and per_flow.spec.where is Where.ME and per_flow.spec.program:
+            add_program(per_flow.spec.program, per_flow)
+        for entry in self.flow_table.general_entries:
+            if entry.spec.where is Where.ME and entry.spec.program is not None:
+                add_program(entry.spec.program, entry)
+
+        def combined_action(packet, chip):
+            if packet.meta.get("exceptional"):
+                # Diverted packets are *charged* the same processing (the
+                # paper: they "receive all of the same processing") but
+                # the higher level owns their transformation -- the fast
+                # path's forwarders must not consume or mutate them.
+                return
+            for action, entry in chain:
+                keep = action(packet, entry.state)
+                if keep is False:
+                    packet.meta["vrp_drop"] = True
+                    packet.meta["dropped_by"] = entry.spec.name
+                    return
+
+        timed = TimedVRP(
+            reg_cycles=reg,
+            sram_reads=reads,
+            sram_writes=writes,
+            hashes=hashes,
+            action=combined_action if chain else None,
+        )
+        self._timed_cache[cache_key] = timed
+        return timed

@@ -1,0 +1,49 @@
+"""ACK monitor data forwarder (section 4.4, [17]).
+
+Watches a TCP connection for repeated (duplicate) ACKs to characterize
+the connection's behaviour -- duplicate ACK bursts indicate loss and
+trigger fast retransmit at the sender.  The control forwarder aggregates
+the counters.
+
+Table 5 cost: 12 bytes of SRAM state, 15 register operations.
+"""
+
+from __future__ import annotations
+
+from repro.core.forwarder import ForwarderSpec, Where
+from repro.core.vrp import RegOps, SramRead, SramWrite, VRPProgram
+from repro.net.tcp import TCP_ACK
+
+
+def monitor_action(packet, state) -> bool:
+    if packet.tcp is None or not packet.tcp.flags & TCP_ACK:
+        return True
+    if packet.tcp.ack == state.get("last_ack") and not packet.payload:
+        state["dup_acks"] = state.get("dup_acks", 0) + 1
+    else:
+        state["last_ack"] = packet.tcp.ack
+    state["acks_seen"] = state.get("acks_seen", 0) + 1
+    return True
+
+
+def make_program() -> VRPProgram:
+    return VRPProgram(
+        name="ack-monitor",
+        ops=[
+            RegOps(6),       # extract ACK flag + number
+            SramRead(2),     # last_ack + dup counter (8 B)
+            RegOps(9),       # compare and update
+            SramWrite(1),    # write back (4 B)
+        ],
+        action=monitor_action,
+        registers_needed=4,
+    )
+
+
+def spec() -> ForwarderSpec:
+    return ForwarderSpec(
+        name="ack-monitor",
+        where=Where.ME,
+        program=make_program(),
+        state_bytes=12,
+    )

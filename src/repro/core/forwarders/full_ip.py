@@ -1,0 +1,52 @@
+"""Full IP forwarder: options processing and everything the fast path
+omits.
+
+"We have measured more complicated forwarders such as TCP proxies and
+full IP to require at least 800 and 660 cycles per packet, respectively
+...  These forwarders clearly need to run on the StrongARM or Pentium."
+(section 4.4)
+"""
+
+from __future__ import annotations
+
+from repro.core.forwarder import ForwarderSpec, Where
+from repro.net.addresses import MACAddress
+from repro.net.ip import OPT_RECORD_ROUTE
+
+FULL_IP_CYCLES = 660
+
+
+def full_ip_action(packet) -> bool:
+    """Everything minimal IP does, plus option processing."""
+    if not packet.ip.decrement_ttl():
+        return False
+    if packet.ip.has_options and OPT_RECORD_ROUTE in packet.ip.option_kinds():
+        # Record our address in the first empty Record Route slot.
+        options = bytearray(packet.ip.options)
+        pointer = options[2]
+        length = options[1]
+        if pointer <= length - 3:
+            slot = pointer - 1
+            options[slot:slot + 4] = bytes([10, 0, 0, 254])
+            options[2] = pointer + 4
+            packet.ip.options = bytes(options)
+    packet.ip.packed()  # recompute checksum over (possibly new) options
+    out_port = packet.meta.get("out_port")
+    if out_port is not None:
+        packet.eth.src = MACAddress.for_port(out_port)
+        packet.eth.dst = MACAddress.for_port(out_port + 0x100)
+    packet.meta["full_ip"] = True
+    return True
+
+
+def spec(where: Where = Where.SA) -> ForwarderSpec:
+    if where is Where.ME:
+        raise ValueError("full IP exceeds the VRP budget; run it on SA or PE")
+    return ForwarderSpec(
+        name="full-ip",
+        where=where,
+        cycles=FULL_IP_CYCLES,
+        action=full_ip_action,
+        state_bytes=0,
+        expected_cycles_per_packet=FULL_IP_CYCLES,
+    )

@@ -1,0 +1,55 @@
+"""Minimal IP data forwarder: the always-present last general forwarder.
+
+"The last is minimal IP processing, which consists of decrementing the
+TTL, recomputing the checksum and replacing the Ethernet header.  (Note
+that the IP header also needs to be validated ... but this is done as
+part of the classifier rather than the forwarder.)"  (section 4.4)
+
+Table 5 cost: 24 bytes of SRAM touched (the ARP/next-hop record), 32
+register operations.
+"""
+
+from __future__ import annotations
+
+from repro.core.forwarder import ForwarderSpec, Where
+from repro.core.vrp import RegOps, SramRead, SramWrite, VRPProgram
+from repro.net.addresses import MACAddress
+
+
+def ip_action(packet, state) -> bool:
+    """Decrement TTL (drop on expiry), recompute the checksum, rewrite
+    the Ethernet header.  The destination MAC was resolved by the
+    classifier's route-cache hit; the source MAC is the output port's."""
+    if not packet.ip.decrement_ttl():
+        state["ttl_expired"] = state.get("ttl_expired", 0) + 1
+        return False
+    packet.ip.packed()  # recomputes and stores the checksum
+    out_port = packet.meta.get("out_port")
+    if out_port is not None:
+        packet.eth.src = MACAddress.for_port(out_port)
+    state["forwarded"] = state.get("forwarded", 0) + 1
+    return True
+
+
+def make_program() -> VRPProgram:
+    return VRPProgram(
+        name="minimal-ip",
+        ops=[
+            RegOps(6),       # TTL fetch, decrement, expiry test
+            RegOps(12),      # incremental checksum update
+            SramRead(5),     # next-hop MAC + output-port record (20 B)
+            RegOps(14),      # rewrite both Ethernet addresses
+            SramWrite(1),    # forwarded-packet counter (4 B)
+        ],
+        action=ip_action,
+        registers_needed=6,
+    )
+
+
+def spec() -> ForwarderSpec:
+    return ForwarderSpec(
+        name="minimal-ip",
+        where=Where.ME,
+        program=make_program(),
+        state_bytes=24,
+    )

@@ -1,0 +1,53 @@
+"""Packet tagger data forwarder ("packet tagging", section 4.4's service
+list).
+
+Stamps the IP TOS/DSCP field per flow from control-plane-managed state;
+the checksum is fixed up incrementally.  The classic use is marking a
+flow's packets for downstream differentiated service, with the control
+forwarder deciding the marking policy.
+
+Cost: 8 bytes of SRAM state, 18 register operations -- comfortably within
+the VRP budget.
+"""
+
+from __future__ import annotations
+
+from repro.core.forwarder import ForwarderSpec, Where
+from repro.core.vrp import RegOps, SramRead, SramWrite, VRPProgram
+
+
+def tag_action(packet, state) -> bool:
+    tag = state.get("tos")
+    if tag is None:
+        return True
+    packet.ip.tos = tag & 0xFF
+    state["tagged"] = state.get("tagged", 0) + 1
+    return True
+
+
+def make_program() -> VRPProgram:
+    return VRPProgram(
+        name="packet-tagger",
+        ops=[
+            SramRead(1),     # the tag value (4 B)
+            RegOps(12),      # stamp TOS + incremental checksum fixup
+            SramWrite(1),    # tagged-packet counter (4 B)
+            RegOps(6),       # finalize
+        ],
+        action=tag_action,
+        registers_needed=3,
+    )
+
+
+def make_spec(tos: int = None) -> ForwarderSpec:
+    spec = ForwarderSpec(
+        name="packet-tagger",
+        where=Where.ME,
+        program=make_program(),
+        state_bytes=8,
+    )
+    if tos is not None:
+        if not 0 <= tos <= 255:
+            raise ValueError(f"bad TOS value {tos}")
+        spec.initial_state["tos"] = tos
+    return spec

@@ -1,0 +1,60 @@
+"""Port filter data forwarder (section 4.4).
+
+"A simple filter that drops packets addressed to a set of up to five
+port ranges."  The ranges live in the flow state so the control
+forwarder can retarget the filter with setdata.
+
+Table 5 cost: 20 bytes of SRAM state (five packed ranges), 26 register
+operations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.forwarder import ForwarderSpec, Where
+from repro.core.vrp import RegOps, SramRead, VRPProgram
+
+MAX_RANGES = 5
+
+
+def filter_action(packet, state) -> bool:
+    if packet.tcp is None:
+        return True
+    ranges: Sequence[Tuple[int, int]] = state.get("ranges", ())
+    port = packet.tcp.dst_port
+    for low, high in ranges:
+        if low <= port <= high:
+            state["filtered"] = state.get("filtered", 0) + 1
+            return False
+    return True
+
+
+def make_program() -> VRPProgram:
+    return VRPProgram(
+        name="port-filter",
+        ops=[
+            RegOps(4),       # extract destination port
+            SramRead(5),     # five packed port ranges (20 B)
+            RegOps(22),      # five compare-pairs + drop decision
+        ],
+        action=filter_action,
+        registers_needed=6,
+    )
+
+
+def make_spec(ranges: Optional[List[Tuple[int, int]]] = None) -> ForwarderSpec:
+    ranges = ranges or []
+    if len(ranges) > MAX_RANGES:
+        raise ValueError(f"port filter supports at most {MAX_RANGES} ranges")
+    for low, high in ranges:
+        if not (0 <= low <= high <= 0xFFFF):
+            raise ValueError(f"bad port range {(low, high)}")
+    spec = ForwarderSpec(
+        name="port-filter",
+        where=Where.ME,
+        program=make_program(),
+        state_bytes=20,
+    )
+    spec.initial_state = {"ranges": list(ranges)}
+    return spec

@@ -1,0 +1,88 @@
+"""Port-scan detector: the section 4.4 intrusion-detection pattern.
+
+"Intrusion detection often works in a similar way: the data forwarder
+records events; the control forwarder analyzes them and in turn installs
+filters in the data forwarder."
+
+The data half records, per tracked source, a 16-bit bitmap of touched
+destination-port buckets plus a counter -- 8 bytes of SRAM state, well
+inside the VRP budget.  The control half (:class:`ScanResponder`) reads
+the counters with getdata, declares a scan when the touched-bucket count
+crosses a threshold, and installs a port filter (or drops the source)
+in the data plane.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.forwarder import ForwarderSpec, Where
+from repro.core.vrp import HashOp, RegOps, SramRead, SramWrite, VRPProgram
+
+PORT_BUCKETS = 16
+
+
+def detect_action(packet, state) -> bool:
+    if packet.tcp is None:
+        return True
+    tracked = state.get("track_src")
+    if tracked is not None and str(packet.ip.src) != tracked:
+        return True
+    bucket = packet.tcp.dst_port % PORT_BUCKETS
+    state["bitmap"] = state.get("bitmap", 0) | (1 << bucket)
+    state["probes"] = state.get("probes", 0) + 1
+    return True
+
+
+def make_program() -> VRPProgram:
+    return VRPProgram(
+        name="scan-detector",
+        ops=[
+            RegOps(6),       # source match + bucket select
+            HashOp(1),       # bucket hash
+            SramRead(1),     # bitmap + counter (packed, 4 B)
+            RegOps(10),      # OR the bit, bump the counter
+            SramWrite(1),    # write back (4 B)
+        ],
+        action=detect_action,
+        registers_needed=4,
+    )
+
+
+def make_spec(track_src: Optional[str] = None) -> ForwarderSpec:
+    spec = ForwarderSpec(
+        name="scan-detector",
+        where=Where.ME,
+        program=make_program(),
+        state_bytes=8,
+    )
+    if track_src is not None:
+        spec.initial_state["track_src"] = track_src
+    return spec
+
+
+class ScanResponder:
+    """The control forwarder: polls the detector and reacts."""
+
+    def __init__(self, router, detector_fid: int, bucket_threshold: int = 8):
+        self.router = router
+        self.detector_fid = detector_fid
+        self.bucket_threshold = bucket_threshold
+        self.alerts: list = []
+        self.filter_fid: Optional[int] = None
+
+    def poll(self) -> bool:
+        """Check the detector state; on a scan, install a drop-everything
+        port filter for the flow.  Returns True if an alert fired."""
+        data = self.router.getdata(self.detector_fid)
+        touched = bin(data.get("bitmap", 0)).count("1")
+        if touched < self.bucket_threshold:
+            return False
+        self.alerts.append({"buckets": touched, "probes": data.get("probes", 0)})
+        if self.filter_fid is None:
+            from repro.core.forwarder import ALL
+            from repro.core.forwarders.port_filter import make_spec as port_filter
+
+            # Respond by filtering the scanned service range everywhere.
+            self.filter_fid = self.router.install(ALL, port_filter([(0, 1023)]))
+        return True

@@ -1,0 +1,43 @@
+"""SYN monitor data forwarder (section 4.4).
+
+Counts the rate of TCP SYN packets to detect SYN-flood attacks; the
+control forwarder samples the counter periodically, computes the rate,
+and can respond by installing a filter.
+
+Table 5 cost: 4 bytes of SRAM state, 5 register operations -- the
+smallest possible useful forwarder.
+"""
+
+from __future__ import annotations
+
+from repro.core.forwarder import ForwarderSpec, Where
+from repro.core.vrp import RegOps, SramWrite, VRPProgram
+from repro.net.tcp import TCP_ACK, TCP_SYN
+
+
+def monitor_action(packet, state) -> bool:
+    tcp = packet.tcp
+    if tcp is not None and tcp.flags & TCP_SYN and not tcp.flags & TCP_ACK:
+        state["syn_count"] = state.get("syn_count", 0) + 1
+    return True
+
+
+def make_program() -> VRPProgram:
+    return VRPProgram(
+        name="syn-monitor",
+        ops=[
+            RegOps(5),       # test SYN & !ACK, prepare increment
+            SramWrite(1),    # bump the counter (4 B)
+        ],
+        action=monitor_action,
+        registers_needed=2,
+    )
+
+
+def spec() -> ForwarderSpec:
+    return ForwarderSpec(
+        name="syn-monitor",
+        where=Where.ME,
+        program=make_program(),
+        state_bytes=4,
+    )

@@ -1,0 +1,69 @@
+"""TCP proxy control forwarder (sections 4.4, [21]).
+
+The proxy terminates a client connection, authenticates the request,
+opens a server connection, and -- once satisfied -- *splices* the two
+connections by computing the header deltas and installing the TCP
+splicer data forwarder on the MicroEngines.  Only the handshake packets
+ever reach the Pentium.
+
+Measured cost: >= 800 cycles per proxied packet.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.forwarder import ForwarderSpec, Where
+from repro.net.tcp import TCP_ACK, TCP_SYN
+
+TCP_PROXY_CYCLES = 800
+
+
+class SpliceController:
+    """The control-forwarder logic: watches a connection's handshake and
+    produces the splice state for the data forwarder."""
+
+    def __init__(self, seq_delta: int = 0, ack_delta: int = 0):
+        self.seq_delta = seq_delta
+        self.ack_delta = ack_delta
+        self.handshakes_seen: Dict[tuple, int] = {}
+        self.spliced: Dict[tuple, dict] = {}
+
+    def on_packet(self, packet) -> Optional[dict]:
+        """Returns splice state once the handshake completes, else None."""
+        if packet.tcp is None:
+            return None
+        key = tuple(packet.flow_key())
+        flags = packet.tcp.flags
+        stage = self.handshakes_seen.get(key, 0)
+        if flags & TCP_SYN and not flags & TCP_ACK:
+            self.handshakes_seen[key] = 1
+        elif flags & TCP_SYN and flags & TCP_ACK and stage == 1:
+            self.handshakes_seen[key] = 2
+        elif flags & TCP_ACK and stage == 2:
+            state = {
+                "spliced": True,
+                "seq_delta": self.seq_delta,
+                "ack_delta": self.ack_delta,
+            }
+            self.spliced[key] = state
+            return state
+        return None
+
+
+def spec() -> ForwarderSpec:
+    controller = SpliceController()
+
+    def proxy_action(packet) -> bool:
+        controller.on_packet(packet)
+        return True
+
+    forwarder = ForwarderSpec(
+        name="tcp-proxy",
+        where=Where.PE,
+        cycles=TCP_PROXY_CYCLES,
+        action=proxy_action,
+        expected_cycles_per_packet=TCP_PROXY_CYCLES,
+    )
+    forwarder.controller = controller
+    return forwarder

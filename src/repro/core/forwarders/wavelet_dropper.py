@@ -1,0 +1,51 @@
+"""Wavelet video dropper data forwarder (section 4.4, [3]).
+
+Wavelet-encoded video is layered; under congestion the router forwards
+low-frequency layers and drops high-frequency ones.  The data forwarder
+compares each packet's layer tag against a cutoff; the control forwarder
+watches the forwarded-packet count and moves the cutoff.
+
+Table 5 cost: 8 bytes of SRAM state, 28 register operations.
+The layer rides in the IP TOS field's upper nibble in this reproduction.
+"""
+
+from __future__ import annotations
+
+from repro.core.forwarder import ForwarderSpec, Where
+from repro.core.vrp import RegOps, SramRead, SramWrite, VRPProgram
+
+
+def layer_of(packet) -> int:
+    return (packet.ip.tos >> 4) & 0x0F
+
+
+def drop_action(packet, state) -> bool:
+    cutoff = state.get("cutoff", 15)  # forward everything by default
+    if layer_of(packet) > cutoff:
+        state["dropped"] = state.get("dropped", 0) + 1
+        return False
+    state["forwarded"] = state.get("forwarded", 0) + 1
+    return True
+
+
+def make_program() -> VRPProgram:
+    return VRPProgram(
+        name="wavelet-dropper",
+        ops=[
+            RegOps(10),      # extract the layer tag
+            SramRead(1),     # current cutoff (4 B)
+            RegOps(18),      # compare, drop/forward decision, bookkeeping
+            SramWrite(1),    # forwarded-count (4 B)
+        ],
+        action=drop_action,
+        registers_needed=4,
+    )
+
+
+def spec() -> ForwarderSpec:
+    return ForwarderSpec(
+        name="wavelet-dropper",
+        where=Where.ME,
+        program=make_program(),
+        state_bytes=8,
+    )

@@ -1,0 +1,155 @@
+"""The four-operation control interface (section 4.5).
+
+::
+
+    fid = install(key, fwdr, size, where)
+    remove(fid)
+    data = getdata(fid)
+    setdata(fid, data)
+
+The IXP exports this interface to the Pentium; the operations are
+implemented on the StrongARM, which maintains the table of installed
+forwarders (SRAM state address, function reference, key).  ``key`` is a
+(src_addr, src_port, dst_addr, dst_port) 4-tuple, or ALL for a general
+forwarder applied to every packet.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.admission import AdmissionControl, AdmissionError
+from repro.core.classifier import Classifier, FlowEntry, FlowTable
+from repro.core.forwarder import ALL, ForwarderSpec, Where
+from repro.net.packet import FlowKey
+
+SRAM_STATE_BASE = 0x10000  # where flow state lives in the 2 MB SRAM
+SRAM_STATE_LIMIT = 0x80000
+
+
+class RouterInterface:
+    """install / remove / getdata / setdata."""
+
+    def __init__(
+        self,
+        flow_table: FlowTable,
+        classifier: Classifier,
+        admission: AdmissionControl,
+        istores: Optional[List] = None,
+        strongarm=None,
+        pentium=None,
+    ):
+        self.flow_table = flow_table
+        self.classifier = classifier
+        self.admission = admission
+        self.istores = istores or []
+        self.strongarm = strongarm
+        self.pentium = pentium
+        self._next_sram = SRAM_STATE_BASE
+        self.installs = 0
+        self.removes = 0
+
+    # -- the four operations -----------------------------------------------------
+
+    def install(self, key, fwdr: ForwarderSpec, size: Optional[int] = None, where: Optional[Where] = None) -> int:
+        """Install forwarder ``fwdr`` for packets matching ``key`` with
+        ``size`` bytes of flow state; returns the fid.  Raises
+        :class:`~repro.core.admission.AdmissionError` when the forwarder
+        does not fit its level's budget."""
+        if where is not None and where is not fwdr.where:
+            raise ValueError(
+                f"where={where.value} disagrees with the spec ({fwdr.where.value})"
+            )
+        if key != ALL and not isinstance(key, FlowKey):
+            raise TypeError("key must be a FlowKey 4-tuple or ALL")
+        size = fwdr.state_bytes if size is None else size
+
+        self.admission.check(key, fwdr, self.flow_table, istores=self.istores)
+
+        sram_addr = self._alloc_state(size)
+        istore_offset = 0
+        if fwdr.where is Where.ME and fwdr.program is not None:
+            istore_offset = self._load_microcode(key, fwdr)
+        elif fwdr.where is Where.SA:
+            self._bind_strongarm(fwdr)
+        elif fwdr.where is Where.PE:
+            self._bind_pentium(fwdr)
+
+        entry = self.flow_table.add(key, fwdr, sram_addr=sram_addr, istore_offset=istore_offset)
+        # The state region is zero-initialised by install (section 4.5),
+        # then seeded with the spec's initial contents.
+        entry.state.clear()
+        entry.state.update(fwdr.initial_state)
+        self.classifier.invalidate()
+        self.installs += 1
+        return entry.fid
+
+    def remove(self, fid: int) -> None:
+        """Unbind the key, free the state memory and the ISTORE room."""
+        entry = self.flow_table.remove(fid)
+        if entry.spec.where is Where.ME and entry.spec.program is not None:
+            for store in self.istores:
+                store.remove(self._segment_name(entry.spec, entry.key))
+        self.classifier.invalidate()
+        self.removes += 1
+
+    def getdata(self, fid: int) -> Dict:
+        """Read the forwarder's flow state (the control forwarder's view
+        of the shared SRAM region).  Like the hardware operation this is
+        a value copy -- mutating the result does not touch the region."""
+        import copy
+
+        return copy.deepcopy(self.flow_table.get(fid).state)
+
+    def setdata(self, fid: int, data: Dict) -> None:
+        """Update the shared flow state (e.g. new filter ranges, a new
+        wavelet cutoff, splice deltas)."""
+        self.flow_table.get(fid).state.update(data)
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _alloc_state(self, size: int) -> int:
+        if size == 0:
+            return 0
+        if self._next_sram + size > SRAM_STATE_LIMIT:
+            raise AdmissionError("SRAM flow-state region exhausted")
+        addr = self._next_sram
+        self._next_sram += (size + 3) & ~3  # word aligned
+        return addr
+
+    @staticmethod
+    def _segment_name(spec: ForwarderSpec, key) -> str:
+        suffix = "ALL" if key == ALL else str(key)
+        return f"{spec.name}@{suffix}"
+
+    def _load_microcode(self, key, fwdr: ForwarderSpec) -> int:
+        """Copy the program into the ISTORE of every input engine;
+        general forwarders stack in reverse from the end, per-flow ones
+        grow upward and are entered by indirect jump."""
+        offset = 0
+        name = self._segment_name(fwdr, key)
+        length = fwdr.program.instruction_count()
+        for store in self.istores:
+            if key == ALL:
+                offset = store.install_general(name, length)
+            else:
+                offset = store.install_per_flow(name, length)
+        return offset
+
+    def _bind_strongarm(self, fwdr: ForwarderSpec) -> None:
+        """SA forwarders are fixed at boot; install binds one of them."""
+        if self.strongarm is None:
+            return
+        if fwdr.name not in self.strongarm.jump_table:
+            from repro.hosts.strongarm import LocalForwarder
+
+            # The reproduction allows registering at bind time, but only
+            # through the boot-time jump-table API.
+            self.strongarm.register_local(
+                LocalForwarder(fwdr.name, fwdr.cycles, fwdr.action)
+            )
+
+    def _bind_pentium(self, fwdr: ForwarderSpec) -> None:
+        if self.pentium is None:
+            return
+        self.pentium.register(fwdr.name, fwdr.cycles, fwdr.action)

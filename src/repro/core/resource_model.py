@@ -1,0 +1,206 @@
+"""The resource model for new port configurations (section 3.5.2).
+
+The paper's static design "means that the software needs to be
+re-designed for boards configured with different ports and port speeds
+...  The third solution would be to construct the software for a new port
+configuration from a collection of building block components ...  The
+hard part is knowing how to partition the resources (contexts and FIFO
+slots) in the most effective way for a given configuration.  We are
+currently developing a resource model that supports this third approach."
+
+This module is that resource model: given a heterogeneous set of port
+speeds it derives a full partition -- how many MicroEngines/contexts for
+each stage, which contexts serve which ports, a token rotation that keeps
+same-port contexts "as far apart as possible", the FIFO slot map, and the
+VRP budget left over -- and checks feasibility against the measured
+stage envelopes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.vrp import VRPBudget, budget_for_line_rate
+from repro.ixp.params import DEFAULT_PARAMS, IXPParams
+from repro.net.ethernet import max_frame_rate
+from repro.net.mac import PortSpeed
+
+# Measured stage envelopes (Table 1 / Figure 7): per-context throughput
+# for minimum-sized packets when each stage runs at full tilt.
+INPUT_CONTEXT_PPS = 3.47e6 / 16
+OUTPUT_CONTEXT_PPS = 3.78e6 / 8
+MAX_INPUT_CONTEXTS = 16  # one input FIFO slot per context
+
+
+@dataclass
+class Partition:
+    """A complete resource assignment for one port configuration."""
+
+    port_speeds: Tuple[PortSpeed, ...]
+    line_rate_pps: float
+    input_contexts: int
+    output_contexts: int
+    input_mes: int
+    output_mes: int
+    port_of_context: Dict[int, int]          # input context -> port id
+    fifo_slot_of_context: Dict[int, int]     # input context -> FIFO slot
+    token_rotation: List[int]                # context ids in token order
+    vrp_budget: VRPBudget = field(default_factory=VRPBudget)
+    feasible: bool = True
+    problems: List[str] = field(default_factory=list)
+
+    def contexts_for_port(self, port: int) -> List[int]:
+        return sorted(c for c, p in self.port_of_context.items() if p == port)
+
+    def min_same_port_token_distance(self) -> int:
+        """The smallest rotation distance between two contexts serving the
+        same port (the paper maximizes this)."""
+        n = len(self.token_rotation)
+        position = {ctx: i for i, ctx in enumerate(self.token_rotation)}
+        best = n
+        for port in set(self.port_of_context.values()):
+            members = self.contexts_for_port(port)
+            if len(members) < 2:
+                continue
+            spots = sorted(position[c] for c in members)
+            for a, b in zip(spots, spots[1:] + [spots[0] + n]):
+                best = min(best, b - a)
+        return best
+
+    def summary(self) -> str:
+        lines = [
+            f"line rate: {self.line_rate_pps/1e6:.3f} Mpps (min-sized packets)",
+            f"input: {self.input_contexts} contexts on {self.input_mes} MEs; "
+            f"output: {self.output_contexts} contexts on {self.output_mes} MEs",
+            f"VRP budget: {self.vrp_budget.cycles} cycles, "
+            f"{self.vrp_budget.sram_transfers} SRAM transfers per MP",
+            f"feasible: {self.feasible}",
+        ]
+        lines.extend(f"  ! {p}" for p in self.problems)
+        return "\n".join(lines)
+
+
+def plan(
+    port_speeds: Sequence[PortSpeed],
+    params: IXPParams = DEFAULT_PARAMS,
+    headroom: float = 1.0,
+) -> Partition:
+    """Derive the resource partition for ``port_speeds``.
+
+    ``headroom`` scales the provisioning target (e.g. 1.2 provisions for
+    20% above nominal line rate).
+    """
+    if not port_speeds:
+        raise ValueError("at least one port required")
+    rates = [max_frame_rate(speed.bps, 64) for speed in port_speeds]
+    line_rate = sum(rates) * headroom
+
+    problems: List[str] = []
+
+    # Stage sizing against the measured envelopes, in whole MicroEngines.
+    # Policy (the paper's): satisfy the output stage's minimum, then give
+    # every remaining engine to the input stage up to the 16-FIFO-slot
+    # ceiling -- input-side capacity beyond line rate *is* the VRP budget.
+    need_in = max(1, math.ceil(line_rate / INPUT_CONTEXT_PPS))
+    if need_in > MAX_INPUT_CONTEXTS:
+        problems.append(
+            f"needs {need_in} input contexts but only {MAX_INPUT_CONTEXTS} "
+            "FIFO slots exist: line rate above the input envelope"
+        )
+        need_in = MAX_INPUT_CONTEXTS
+    need_out = max(1, math.ceil(line_rate / OUTPUT_CONTEXT_PPS))
+    min_input_mes = math.ceil(need_in / params.contexts_per_me)
+    min_output_mes = math.ceil(need_out / params.contexts_per_me)
+    if min_input_mes + min_output_mes > params.num_microengines:
+        problems.append(
+            f"partition wants at least {min_input_mes}+{min_output_mes} "
+            f"MicroEngines, only {params.num_microengines} exist"
+        )
+        min_output_mes = max(1, params.num_microengines - min_input_mes)
+    max_input_mes = math.ceil(MAX_INPUT_CONTEXTS / params.contexts_per_me)
+    input_mes = max(
+        min_input_mes,
+        min(max_input_mes, params.num_microengines - min_output_mes),
+    )
+    output_mes = params.num_microengines - input_mes
+    input_contexts = min(MAX_INPUT_CONTEXTS, input_mes * params.contexts_per_me)
+    output_contexts = output_mes * params.contexts_per_me
+
+    # Port -> context weighting by line rate: every port gets at least
+    # one context; faster ports get proportionally more.
+    shares = _apportion(rates, input_contexts, problems)
+
+    # Assign contexts to ports and build the token rotation so contexts
+    # serving the same port sit maximally far apart: round-robin over the
+    # ports' remaining quotas.
+    port_of_context: Dict[int, int] = {}
+    rotation_ports: List[int] = []
+    remaining = list(shares)
+    while any(remaining):
+        for port, left in enumerate(remaining):
+            if left > 0:
+                rotation_ports.append(port)
+                remaining[port] -= 1
+    for ctx_id, port in enumerate(rotation_ports):
+        port_of_context[ctx_id] = port
+    token_rotation = list(range(len(rotation_ports)))
+    fifo_slot_of_context = {ctx: ctx for ctx in token_rotation}
+
+    budget = budget_for_line_rate(max(line_rate, 1.0), input_mes=input_mes)
+    if budget.cycles == 0:
+        problems.append("no VRP budget at this line rate: only the null forwarder fits")
+
+    return Partition(
+        port_speeds=tuple(port_speeds),
+        line_rate_pps=line_rate,
+        input_contexts=len(rotation_ports),
+        output_contexts=output_contexts,
+        input_mes=input_mes,
+        output_mes=output_mes,
+        port_of_context=port_of_context,
+        fifo_slot_of_context=fifo_slot_of_context,
+        token_rotation=token_rotation,
+        vrp_budget=budget,
+        feasible=not problems,
+        problems=problems,
+    )
+
+
+def _apportion(rates: List[float], contexts: int, problems: List[str]) -> List[int]:
+    """Largest-remainder apportionment of contexts to ports, minimum one
+    context per port."""
+    if contexts < len(rates):
+        problems.append(
+            f"{len(rates)} ports but only {contexts} input contexts: "
+            "ports must share contexts (not supported by the static design)"
+        )
+        # Degrade: give the fastest ports one context each.
+        order = sorted(range(len(rates)), key=lambda i: -rates[i])
+        shares = [0] * len(rates)
+        for i in order[:contexts]:
+            shares[i] = 1
+        return shares
+    total = sum(rates)
+    raw = [rate / total * contexts for rate in rates]
+    shares = [max(1, int(r)) for r in raw]
+    # Distribute leftovers by largest remainder.
+    while sum(shares) < contexts:
+        remainders = [(raw[i] - shares[i], i) for i in range(len(rates))]
+        remainders.sort(reverse=True)
+        shares[remainders[0][1]] += 1
+    while sum(shares) > contexts:
+        candidates = [(raw[i] - shares[i], i) for i in range(len(rates)) if shares[i] > 1]
+        if not candidates:
+            break
+        candidates.sort()
+        shares[candidates[0][1]] -= 1
+    return shares
+
+
+def evaluation_board_partition(**kwargs) -> Partition:
+    """The partition for the paper's own board (8 x 100 Mbps + 2 x 1 Gbps
+    would exceed the input envelope; the paper's experiments use the
+    eight fast-Ethernet ports, which is what this helper plans for)."""
+    return plan([PortSpeed.MBPS_100] * 8, **kwargs)

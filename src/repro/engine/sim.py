@@ -1,0 +1,356 @@
+"""Cycle-resolution discrete-event simulator.
+
+Processes are Python generators that yield *commands*:
+
+* :class:`Delay` -- resume after a fixed number of cycles.
+* :class:`Event` -- resume when the event is triggered (one-shot).
+* :class:`Signal` -- resume on the next firing (repeating).
+* ``resource.acquire()`` -- resume once the resource is granted.
+* another :class:`Process` -- resume when that process terminates (join).
+
+The simulator advances time only through the event queue; there is no
+wall-clock component, so runs are fully deterministic given deterministic
+process code.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Deque, Generator, Iterable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal simulator usage (double release, bad yield, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted while waiting.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Delay:
+    """Command: suspend the yielding process for ``cycles`` cycles."""
+
+    __slots__ = ("cycles",)
+
+    def __init__(self, cycles: int):
+        if cycles < 0:
+            raise SimulationError(f"negative delay: {cycles}")
+        self.cycles = cycles
+
+    def __repr__(self) -> str:
+        return f"Delay({self.cycles})"
+
+
+class Event:
+    """One-shot event.  Waiters resume when :meth:`succeed` is called.
+
+    Waiting on an already-succeeded event resumes immediately with the
+    stored value.  Succeeding twice is an error.
+    """
+
+    __slots__ = ("sim", "_waiters", "_done", "_value", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._waiters: List["Process"] = []
+        self._done = False
+        self._value: Any = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def succeed(self, value: Any = None) -> None:
+        if self._done:
+            raise SimulationError(f"event {self.name!r} succeeded twice")
+        self._done = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self.sim._resume(proc, value)
+
+    def _wait(self, proc: "Process") -> None:
+        if self._done:
+            self.sim._resume(proc, self._value)
+        else:
+            self._waiters.append(proc)
+            proc._waiting_on = self
+
+    def _cancel(self, proc: "Process") -> None:
+        if proc in self._waiters:
+            self._waiters.remove(proc)
+
+
+class Signal:
+    """Repeating signal: each :meth:`fire` wakes every currently-waiting
+    process (and only those).  Used to model the IXP1200 inter-thread
+    signalling hardware, which is on-chip and effectively instantaneous.
+    """
+
+    __slots__ = ("sim", "_waiters", "name", "fire_count")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._waiters: List["Process"] = []
+        self.fire_count = 0
+
+    def fire(self, value: Any = None) -> int:
+        """Wake all current waiters; returns the number woken."""
+        self.fire_count += 1
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self.sim._resume(proc, value)
+        return len(waiters)
+
+    def _wait(self, proc: "Process") -> None:
+        self._waiters.append(proc)
+        proc._waiting_on = self
+
+    def _cancel(self, proc: "Process") -> None:
+        if proc in self._waiters:
+            self._waiters.remove(proc)
+
+
+class _AcquireCommand:
+    """Internal command produced by :meth:`Resource.acquire`."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        self.resource = resource
+
+
+class Resource:
+    """A counted resource with a FIFO wait queue.
+
+    ``capacity`` units exist; a process acquires one unit with
+    ``yield resource.acquire()`` and returns it with ``resource.release()``
+    (a plain call, not a yield -- releasing costs no simulated time).
+    """
+
+    __slots__ = ("sim", "capacity", "in_use", "_queue", "name", "total_waits", "total_wait_cycles")
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self.name = name
+        self._queue: Deque[Tuple["Process", int]] = deque()
+        self.total_waits = 0
+        self.total_wait_cycles = 0
+
+    def acquire(self) -> _AcquireCommand:
+        return _AcquireCommand(self)
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def _request(self, proc: "Process") -> None:
+        if self.in_use < self.capacity and not self._queue:
+            self.in_use += 1
+            self.sim._resume(proc, self)
+        else:
+            self.total_waits += 1
+            self._queue.append((proc, self.sim.now))
+            proc._waiting_on = self
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._queue:
+            proc, enq_time = self._queue.popleft()
+            self.total_wait_cycles += self.sim.now - enq_time
+            self.sim._resume(proc, self)
+        else:
+            self.in_use -= 1
+
+    def _cancel(self, proc: "Process") -> None:
+        for i, (waiter, __) in enumerate(self._queue):
+            if waiter is proc:
+                del self._queue[i]
+                return
+
+
+class Process:
+    """A generator-based simulated process."""
+
+    __slots__ = ("sim", "gen", "name", "_alive", "_result", "_joiners", "_waiting_on", "_interrupted")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        self.sim = sim
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._alive = True
+        self._result: Any = None
+        self._joiners: List["Process"] = []
+        self._waiting_on: Any = None
+        self._interrupted = False
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    @property
+    def result(self) -> Any:
+        return self._result
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Abort whatever this process is waiting for and throw
+        :class:`Interrupt` into it at the current simulation time."""
+        if not self._alive:
+            return
+        waiting_on = self._waiting_on
+        if waiting_on is not None and hasattr(waiting_on, "_cancel"):
+            waiting_on._cancel(self)
+        self._waiting_on = None
+        self._interrupted = True
+        self.sim.schedule(0, lambda: self.sim._step(self, cause))
+
+    def _wait(self, proc: "Process") -> None:
+        # Support `yield other_process` as a join.
+        if not self._alive:
+            proc.sim._resume(proc, self._result)
+        else:
+            self._joiners.append(proc)
+            proc._waiting_on = self
+
+    def _cancel(self, proc: "Process") -> None:
+        if proc in self._joiners:
+            self._joiners.remove(proc)
+
+    def _finish(self, result: Any) -> None:
+        self._alive = False
+        self._result = result
+        joiners, self._joiners = self._joiners, []
+        for j in joiners:
+            self.sim._resume(j, result)
+
+    def __repr__(self) -> str:
+        state = "alive" if self._alive else "done"
+        return f"<Process {self.name} ({state})>"
+
+
+class Simulator:
+    """The event loop.  Time is an integer cycle count starting at zero."""
+
+    def __init__(self):
+        self.now: int = 0
+        self._heap: List[Tuple[int, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._events_processed = 0
+        self._stopped = False
+
+    # -- event queue ------------------------------------------------------
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, callback))
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the current callback returns."""
+        self._stopped = True
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Process events until the queue empties, ``until`` cycles is
+        reached, or ``max_events`` callbacks have run.  Returns ``now``.
+        """
+        self._stopped = False
+        count = 0
+        while self._heap and not self._stopped:
+            when, __, callback = self._heap[0]
+            if until is not None and when > until:
+                self.now = until
+                break
+            heapq.heappop(self._heap)
+            self.now = when
+            callback()
+            self._events_processed += 1
+            count += 1
+            if max_events is not None and count >= max_events:
+                break
+        else:
+            if until is not None and not self._stopped:
+                self.now = max(self.now, until)
+        return self.now
+
+    # -- processes --------------------------------------------------------
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Register a generator as a process; it takes its first step at
+        the current simulation time (via a zero-delay event)."""
+        proc = Process(self, gen, name=name)
+        self.schedule(0, lambda: self._step(proc, None))
+        return proc
+
+    def spawn_all(self, gens: Iterable[Generator], prefix: str = "p") -> List[Process]:
+        return [self.spawn(g, name=f"{prefix}{i}") for i, g in enumerate(gens)]
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def signal(self, name: str = "") -> Signal:
+        return Signal(self, name)
+
+    def resource(self, capacity: int = 1, name: str = "") -> Resource:
+        return Resource(self, capacity, name)
+
+    def _resume(self, proc: Process, value: Any) -> None:
+        proc._waiting_on = None
+        self.schedule(0, lambda: self._step(proc, value))
+
+    def _step(self, proc: Process, value: Any) -> None:
+        if not proc._alive:
+            return
+        try:
+            if proc._interrupted:
+                proc._interrupted = False
+                command = proc.gen.throw(Interrupt(value))
+            else:
+                command = proc.gen.send(value)
+        except StopIteration as stop:
+            proc._finish(getattr(stop, "value", None))
+            return
+        except Interrupt:
+            proc._finish(None)
+            return
+        self._dispatch(proc, command)
+
+    def _dispatch(self, proc: Process, command: Any) -> None:
+        if isinstance(command, Delay):
+            if command.cycles == 0:
+                self._resume(proc, None)
+            else:
+                self.schedule(command.cycles, lambda: self._step(proc, None))
+        elif isinstance(command, _AcquireCommand):
+            command.resource._request(proc)
+        elif isinstance(command, (Event, Signal, Process)):
+            command._wait(proc)
+        else:
+            raise SimulationError(
+                f"process {proc.name!r} yielded unsupported command {command!r}"
+            )

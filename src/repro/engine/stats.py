@@ -1,0 +1,201 @@
+"""Measurement primitives: counters, rates, time-weighted values, histograms.
+
+Every hardware model exposes its observable behaviour through these so the
+benchmark harnesses can report the same quantities as the paper (packets
+per second, cycles per packet, queue occupancy, drop counts).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class RateMeter:
+    """Counts events over a window of simulated cycles and converts to
+    events-per-second given a clock frequency."""
+
+    __slots__ = ("name", "count", "start_cycle", "_last_cycle")
+
+    def __init__(self, name: str = "", start_cycle: int = 0):
+        self.name = name
+        self.count = 0
+        self.start_cycle = start_cycle
+        self._last_cycle = start_cycle
+
+    def record(self, cycle: int, amount: int = 1) -> None:
+        self.count += amount
+        self._last_cycle = cycle
+
+    def restart(self, cycle: int) -> None:
+        """Begin a fresh measurement window at ``cycle``."""
+        self.count = 0
+        self.start_cycle = cycle
+        self._last_cycle = cycle
+
+    def elapsed(self, now: Optional[int] = None) -> int:
+        end = self._last_cycle if now is None else now
+        return max(0, end - self.start_cycle)
+
+    def per_cycle(self, now: Optional[int] = None) -> float:
+        cycles = self.elapsed(now)
+        if cycles == 0:
+            return 0.0
+        return self.count / cycles
+
+    def per_second(self, hz: float, now: Optional[int] = None) -> float:
+        """Events per wall-clock second for a clock running at ``hz``."""
+        return self.per_cycle(now) * hz
+
+    def __repr__(self) -> str:
+        return f"RateMeter({self.name}: {self.count} events)"
+
+
+class TimeWeighted:
+    """Time-weighted average of a piecewise-constant value (queue depth,
+    resource utilization)."""
+
+    __slots__ = ("name", "_value", "_last_change", "_weighted_sum", "_start", "_max")
+
+    def __init__(self, name: str = "", initial: float = 0.0, start_cycle: int = 0):
+        self.name = name
+        self._value = initial
+        self._last_change = start_cycle
+        self._weighted_sum = 0.0
+        self._start = start_cycle
+        self._max = initial
+
+    def update(self, cycle: int, value: float) -> None:
+        self._weighted_sum += self._value * (cycle - self._last_change)
+        self._value = value
+        self._last_change = cycle
+        self._max = max(self._max, value)
+
+    @property
+    def current(self) -> float:
+        return self._value
+
+    @property
+    def maximum(self) -> float:
+        return self._max
+
+    def mean(self, now: int) -> float:
+        total = self._weighted_sum + self._value * (now - self._last_change)
+        span = now - self._start
+        if span <= 0:
+            return self._value
+        return total / span
+
+
+class Histogram:
+    """Fixed-bucket histogram for latency-style measurements."""
+
+    def __init__(self, name: str = "", bounds: Optional[Iterable[float]] = None):
+        self.name = name
+        self.bounds: List[float] = sorted(bounds) if bounds else []
+        self.buckets: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.total_sq = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.total_sq += value * value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        index = 0
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.buckets[index] += 1
+                return
+        self.buckets[len(self.bounds)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        if self.count < 2:
+            return 0.0
+        mean = self.mean
+        variance = self.total_sq / self.count - mean * mean
+        return math.sqrt(max(0.0, variance))
+
+    def bucket_items(self) -> List[Tuple[str, int]]:
+        labels = []
+        previous = None
+        for bound in self.bounds:
+            low = "-inf" if previous is None else str(previous)
+            labels.append((f"({low}, {bound}]", 0))
+            previous = bound
+        labels.append((f"({previous}, +inf)", 0))
+        return [(label, count) for (label, __), count in zip(labels, self.buckets)]
+
+
+class StatSet:
+    """A named bag of statistics, so components can expose one object."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.counters: Dict[str, Counter] = {}
+        self.rates: Dict[str, RateMeter] = {}
+        self.weighted: Dict[str, TimeWeighted] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def rate(self, name: str, start_cycle: int = 0) -> RateMeter:
+        if name not in self.rates:
+            self.rates[name] = RateMeter(name, start_cycle)
+        return self.rates[name]
+
+    def time_weighted(self, name: str, initial: float = 0.0, start_cycle: int = 0) -> TimeWeighted:
+        if name not in self.weighted:
+            self.weighted[name] = TimeWeighted(name, initial, start_cycle)
+        return self.weighted[name]
+
+    def histogram(self, name: str, bounds: Optional[Iterable[float]] = None) -> Histogram:
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(name, bounds)
+        return self.histograms[name]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat dict of counter values and histogram means, for reporting."""
+        out: Dict[str, float] = {}
+        for name, counter in self.counters.items():
+            out[f"{name}"] = counter.value
+        for name, histogram in self.histograms.items():
+            out[f"{name}.mean"] = histogram.mean
+            out[f"{name}.count"] = histogram.count
+        return out

@@ -1,0 +1,29 @@
+"""Host processors above the MicroEngines: StrongARM, Pentium, PCI/I2O.
+
+The paper's processor hierarchy (Figure 8) has three levels; this package
+models the top two.  The StrongARM runs a minimal OS that bridges packets
+to the Pentium and hosts a small set of local forwarders; the Pentium
+runs the control plane and expensive forwarders behind I2O-style queue
+pairs over a 32-bit/33 MHz PCI bus (the I2O silicon bug forced a software
+emulation in the paper, so transfers consume Pentium cycles as programmed
+I/O -- which is exactly what reproduces Table 4).
+"""
+
+from repro.hosts.baseline import PurePCRouter
+from repro.hosts.pci import I2OQueuePair, PCIBus, pci_transfer_cycles
+from repro.hosts.pentium import PentiumHost, PentiumParams
+from repro.hosts.scheduling import StrideScheduler
+from repro.hosts.strongarm import LocalForwarder, SAParams, StrongARM
+
+__all__ = [
+    "I2OQueuePair",
+    "LocalForwarder",
+    "PCIBus",
+    "PentiumHost",
+    "PentiumParams",
+    "PurePCRouter",
+    "SAParams",
+    "StrideScheduler",
+    "StrongARM",
+    "pci_transfer_cycles",
+]

@@ -1,0 +1,204 @@
+"""The StrongARM: a minimal OS that bridges packets to the Pentium and
+runs a small fixed set of local forwarders.
+
+Design constraints from the paper (sections 3.6, 4.1):
+
+* The StrongARM shares SRAM/DRAM bandwidth with the MicroEngines, so it
+  "must run within the same resource budget" -- its memory accesses go
+  through the chip's contended channels.
+* It services two queue sets: packets to process locally and packets
+  bound for the Pentium; Pentium-bound packets have priority.
+* Polling beats interrupts: the paper measured 526 Kpps polling for a
+  null local forwarder ("interrupts were significantly slower"), with
+  zero spare cycles at that rate.
+* Local forwarders are fixed at boot; ``install`` merely binds one of
+  them to a flow (section 4.5 footnote).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, NamedTuple, Optional
+
+from repro.engine import Delay, Simulator
+from repro.hosts.pci import EAGER_BYTES, I2OMessage, I2OQueuePair
+from repro.ixp.queues import PacketDescriptor
+
+
+class LocalForwarder(NamedTuple):
+    """One entry in the StrongARM's jump table."""
+
+    name: str
+    cycles: int                      # processing cost per packet
+    action: Optional[Callable] = None  # callable(packet) -> bool(keep)
+
+
+@dataclass(frozen=True)
+class SAParams:
+    """Calibrated so the measured envelopes of section 3.6 emerge:
+
+    * null local forwarder: ~380 cycles/packet -> 526 Kpps at 200 MHz;
+    * Pentium bridging: ~374 cycles/packet -> saturation at ~534 Kpps.
+    """
+
+    clock_hz: float = 200e6
+    dispatch_cycles: int = 244       # dequeue bookkeeping + jump table
+    bridge_busy_cycles: int = 290    # I2O send path (software-emulated)
+    interrupt_overhead_cycles: int = 420  # per-packet cost in interrupt mode
+    idle_poll_cycles: int = 50
+
+
+class StrongARM:
+    """The middle level of the processor hierarchy."""
+
+    def __init__(
+        self,
+        chip,
+        params: SAParams = SAParams(),
+        mode: str = "polling",
+        pentium_pair: Optional[I2OQueuePair] = None,
+        scheduler=None,
+    ):
+        if mode not in ("polling", "interrupt"):
+            raise ValueError(f"bad mode {mode!r}")
+        self.chip = chip
+        self.sim: Simulator = chip.sim
+        self.params = params
+        self.mode = mode
+        self.pentium_pair = pentium_pair
+        # Optional proportional-share scheduler over local forwarders
+        # ("we eventually plan to run a proportional share scheduler on
+        # the StrongARM", section 4.1).  Pentium-bound bridging always
+        # retains priority over local work regardless.
+        self.scheduler = scheduler
+        self.jump_table: Dict[str, LocalForwarder] = {}
+        self.register_local(LocalForwarder("null", 0))
+        self.register_local(LocalForwarder("drop", 0, action=lambda packet: False))
+
+        self.busy_cycles = 0
+        self.local_processed = 0
+        self.bridged = 0
+        self.bridge_backpressure = 0
+        self.dropped_local = 0
+        self._proc = self.sim.spawn(self._run(), name="strongarm")
+
+    # -- configuration -----------------------------------------------------------
+
+    def register_local(self, forwarder: LocalForwarder) -> None:
+        """Add a forwarder to the boot-time jump table."""
+        self.jump_table[forwarder.name] = forwarder
+
+    def spare_cycles_per_packet(self, window_cycles: int) -> float:
+        """The paper's delay-loop measurement: cycles per packet not
+        spent on packet work, at the observed rate."""
+        handled = self.local_processed + self.bridged
+        if handled == 0:
+            return float(window_cycles)
+        return max(0.0, (window_cycles - self.busy_cycles) / handled)
+
+    # -- execution ------------------------------------------------------------------
+
+    def _busy(self, cycles: int) -> Generator:
+        self.busy_cycles += cycles
+        if cycles:
+            yield Delay(cycles)
+
+    def _run(self) -> Generator:
+        chip = self.chip
+        while True:
+            # Pentium-bound packets take precedence over local ones
+            # (section 4.1's priority scheme).
+            descriptor = chip.sa_dequeue(chip.sa_pentium_queue)
+            to_pentium = descriptor is not None
+            if descriptor is None:
+                descriptor = chip.sa_dequeue(chip.sa_local_queue)
+            if descriptor is None:
+                if self.scheduler is not None and self.scheduler.backlog:
+                    yield from self._local(None)  # drain the scheduler
+                    continue
+                if self.mode == "polling":
+                    yield Delay(self.params.idle_poll_cycles)
+                else:
+                    yield chip.sa_signal  # sleep until an MP arrives
+                continue
+            if self.mode == "interrupt":
+                yield from self._busy(self.params.interrupt_overhead_cycles)
+            if to_pentium and self.pentium_pair is not None:
+                yield from self._bridge(descriptor)
+            else:
+                yield from self._local(descriptor)
+
+    def _dequeue_ops(self) -> Generator:
+        """Queue bookkeeping hits the shared SRAM/Scratch channels."""
+        yield from self.chip.sram.read(tag="sa.dequeue")
+        yield from self.chip.scratch.read(tag="sa.qstate")
+
+    def _local(self, descriptor: Optional[PacketDescriptor]) -> Generator:
+        yield from self._dequeue_ops()
+        if self.scheduler is not None:
+            # Proportional share among local forwarder classes: drain the
+            # FIFO arrival queue into the per-class scheduler first so the
+            # stride pick sees the whole backlog, not one packet.
+            if descriptor is not None:
+                self.scheduler.enqueue(self._forwarder_for(descriptor).name, descriptor)
+            while True:
+                more = self.chip.sa_dequeue(self.chip.sa_local_queue)
+                if more is None:
+                    break
+                self.scheduler.enqueue(self._forwarder_for(more).name, more)
+            pick = self.scheduler.select()
+            if pick is None:
+                return
+            name, descriptor = pick
+        # Packet headers are read directly from DRAM (the StrongARM's
+        # privilege over the Pentium).
+        yield from self.chip.dram.read(tag="sa.header")
+        if descriptor.packet is not None:
+            descriptor.packet.meta["t_strongarm"] = self.sim.now
+        forwarder = self._forwarder_for(descriptor)
+        yield from self._busy(self.params.dispatch_cycles + forwarder.cycles)
+        if self.scheduler is not None:
+            self.scheduler.charge(forwarder.name, self.params.dispatch_cycles + forwarder.cycles)
+        keep = True
+        if forwarder.action is not None and descriptor.packet is not None:
+            keep = forwarder.action(descriptor.packet) is not False
+        self.local_processed += 1
+        if not keep:
+            self.dropped_local += 1
+            return
+        # Hand the packet back to the normal output path.
+        yield from self.chip.sram.write(tag="sa.requeue")
+        yield from self.chip.scratch.write(tag="sa.requeue")
+        self.chip.requeue_from_sa(descriptor)
+
+    def _bridge(self, descriptor: PacketDescriptor) -> Generator:
+        yield from self._dequeue_ops()
+        yield from self._busy(self.params.bridge_busy_cycles)
+        yield from self.chip.sram.write(tag="sa.i2o")
+        packet = descriptor.packet
+        frame_len = packet.frame_len if packet is not None else 64
+        flow_metadata = dict(packet.meta) if packet is not None else {}
+        # The descriptor rides along so the packet can rejoin the normal
+        # output path (same DRAM buffer) when the Pentium returns it.
+        flow_metadata["_descriptor"] = descriptor
+        message = I2OMessage(
+            packet=packet,
+            eager_bytes=EAGER_BYTES,
+            body_bytes=max(0, frame_len - 64),
+            flow_metadata=flow_metadata,
+        )
+        while not self.pentium_pair.try_send(message):
+            # No free buffer in Pentium memory: the bridge stalls until
+            # the Pentium recycles one.  This back-pressure is what keeps
+            # the StrongARM idle (spare cycles) when the path is
+            # bus-bound, as in the paper's 1500-byte measurement.
+            self.bridge_backpressure += 1
+            yield Delay(self.params.idle_poll_cycles)
+        self.bridged += 1
+
+    def _forwarder_for(self, descriptor: PacketDescriptor) -> LocalForwarder:
+        if descriptor.packet is not None:
+            name = descriptor.packet.meta.get("sa_forwarder")
+            if name and name in self.jump_table:
+                return self.jump_table[name]
+        return self.jump_table["null"]

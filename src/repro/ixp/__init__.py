@@ -1,0 +1,51 @@
+"""IXP1200 network-processor simulator.
+
+An event-driven model of the hardware the paper's router runs on: six
+MicroEngines with four hardware contexts each, DRAM/SRAM/Scratch with the
+paper's measured latencies, the single receive-DMA state machine guarded
+by token passing, input/output FIFOs, the hardware hash unit, per-engine
+instruction stores, the circular DRAM buffer allocator, and SRAM packet
+queues in several disciplines.
+
+The input and output loops of the paper's Figures 5 and 6 are implemented
+as timed generator programs in :mod:`repro.ixp.programs`; performance
+numbers *emerge* from context parallelism and contention rather than
+being hard-coded.
+"""
+
+from repro.ixp.buffers import BufferPool
+from repro.ixp.chip import IXP1200, ChipConfig
+from repro.ixp.hash_unit import HashUnit
+from repro.ixp.istore import InstructionStore, IStoreError
+from repro.ixp.memory import Memory, MemoryKind
+from repro.ixp.microengine import MicroContext, MicroEngine
+from repro.ixp.params import CostModel, IXPParams
+from repro.ixp.queues import (
+    InputDiscipline,
+    OutputDiscipline,
+    PacketDescriptor,
+    PacketQueue,
+    QueueBank,
+)
+from repro.ixp.token_ring import TokenRing
+
+__all__ = [
+    "BufferPool",
+    "ChipConfig",
+    "CostModel",
+    "HashUnit",
+    "IXP1200",
+    "IXPParams",
+    "InputDiscipline",
+    "InstructionStore",
+    "IStoreError",
+    "Memory",
+    "MemoryKind",
+    "MicroContext",
+    "MicroEngine",
+    "OutputDiscipline",
+    "PacketDescriptor",
+    "PacketQueue",
+    "QueueBank",
+    "TokenRing",
+]

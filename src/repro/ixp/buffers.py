@@ -1,0 +1,143 @@
+"""The circular DRAM packet-buffer allocator (paper section 3.2.3).
+
+16 MB of DRAM divided into 8192 buffers of 2 KB, consumed circularly as
+packets arrive.  The scheme's "interesting property": a buffer is valid
+for exactly one pass through the ring -- if the output process has not
+transmitted the packet before its buffer is reused, the packet is lost.
+Generation counters make that lifetime rule checkable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, NamedTuple, Optional
+
+
+class BufferHandle(NamedTuple):
+    """A reference to buffer contents valid for one allocator pass."""
+
+    index: int
+    generation: int
+
+
+class BufferPool:
+    """Circular buffer allocator with one-pass lifetime semantics."""
+
+    def __init__(self, buffer_count: int = 8192, buffer_bytes: int = 2048):
+        if buffer_count <= 0 or buffer_bytes <= 0:
+            raise ValueError("buffer pool dimensions must be positive")
+        self.buffer_count = buffer_count
+        self.buffer_bytes = buffer_bytes
+        self._next = 0
+        self._generations: List[int] = [0] * buffer_count
+        self._contents: List[Any] = [None] * buffer_count
+        self.allocations = 0
+        self.stale_reads = 0
+
+    def alloc(self, contents: Any = None, size: int = 0) -> BufferHandle:
+        """Take the next buffer in the ring, invalidating its previous
+        occupant.  ``size`` is checked against the buffer capacity --
+        a 1518-byte maximal Ethernet frame must fit."""
+        if size > self.buffer_bytes:
+            raise ValueError(f"{size} bytes exceeds buffer capacity {self.buffer_bytes}")
+        index = self._next
+        self._next = (self._next + 1) % self.buffer_count
+        self._generations[index] += 1
+        self._contents[index] = contents
+        self.allocations += 1
+        return BufferHandle(index, self._generations[index])
+
+    def write(self, handle: BufferHandle, contents: Any) -> bool:
+        """Store into a buffer; fails (False) if the buffer was reused."""
+        if not self.is_valid(handle):
+            return False
+        self._contents[handle.index] = contents
+        return True
+
+    def read(self, handle: BufferHandle) -> Optional[Any]:
+        """Retrieve contents, or ``None`` if the buffer has been reused
+        since ``handle`` was issued (the packet is effectively lost)."""
+        if not self.is_valid(handle):
+            self.stale_reads += 1
+            return None
+        return self._contents[handle.index]
+
+    def is_valid(self, handle: BufferHandle) -> bool:
+        return self._generations[handle.index] == handle.generation
+
+    def lifetime_allocations(self) -> int:
+        """Allocations a handle survives: exactly one ring pass."""
+        return self.buffer_count
+
+    def __repr__(self) -> str:
+        return f"<BufferPool {self.buffer_count} x {self.buffer_bytes}B, next={self._next}>"
+
+
+class StackBufferPool:
+    """The alternative the paper describes but chose not to build:
+
+    "At some additional cost, this timing behavior could be eliminated by
+    using hardware support on the IXP1200 for stack operations to
+    implement a buffer pool.  To prevent contention from causing
+    shortages, it would be necessary to have a different stack of
+    available buffers for each output port." (section 3.2.3)
+
+    Buffers are explicitly allocated and freed; a packet is never lost to
+    reuse, but a slow output port can exhaust *its own* stack (allocation
+    fails), and each alloc/free costs an extra SRAM push/pop that the
+    circular scheme avoids.
+    """
+
+    EXTRA_SRAM_OPS_PER_PACKET = 2  # the push and the pop
+
+    def __init__(self, buffer_count: int = 8192, buffer_bytes: int = 2048, num_ports: int = 8):
+        if buffer_count <= 0 or buffer_bytes <= 0 or num_ports <= 0:
+            raise ValueError("pool dimensions must be positive")
+        self.buffer_count = buffer_count
+        self.buffer_bytes = buffer_bytes
+        self.num_ports = num_ports
+        per_port = buffer_count // num_ports
+        self._stacks: List[List[int]] = [
+            list(range(p * per_port, (p + 1) * per_port)) for p in range(num_ports)
+        ]
+        self._contents: List[Any] = [None] * buffer_count
+        self._owner: List[Optional[int]] = [None] * buffer_count
+        self.allocations = 0
+        self.exhaustions = 0
+        self.frees = 0
+
+    def alloc(self, out_port: int, contents: Any = None, size: int = 0) -> Optional[int]:
+        """Pop a buffer from ``out_port``'s stack; None when exhausted."""
+        if size > self.buffer_bytes:
+            raise ValueError(f"{size} bytes exceeds buffer capacity {self.buffer_bytes}")
+        stack = self._stacks[out_port % self.num_ports]
+        if not stack:
+            self.exhaustions += 1
+            return None
+        index = stack.pop()
+        self._contents[index] = contents
+        self._owner[index] = out_port % self.num_ports
+        self.allocations += 1
+        return index
+
+    def read(self, index: int) -> Any:
+        if self._owner[index] is None:
+            raise ValueError(f"buffer {index} is not allocated")
+        return self._contents[index]
+
+    def free(self, index: int) -> None:
+        """Push the buffer back onto its owner's stack (the output stage
+        does this after transmission)."""
+        owner = self._owner[index]
+        if owner is None:
+            raise ValueError(f"double free of buffer {index}")
+        self._owner[index] = None
+        self._contents[index] = None
+        self._stacks[owner].append(index)
+        self.frees += 1
+
+    def available(self, out_port: int) -> int:
+        return len(self._stacks[out_port % self.num_ports])
+
+    def __repr__(self) -> str:
+        free_total = sum(len(s) for s in self._stacks)
+        return f"<StackBufferPool {free_total}/{self.buffer_count} free across {self.num_ports} stacks>"

@@ -1,0 +1,92 @@
+"""Pipeline profiling: per-packet milestone timestamps and latency
+reports.
+
+Every real packet picks up cycle timestamps as it moves through the
+pipeline (arrival at the MAC, classification on an input context,
+enqueue, transmission; plus the StrongARM/Pentium stations for
+exceptional packets).  :func:`latency_report` turns a set of forwarded
+packets into per-stage latency statistics, and :func:`format_timeline`
+renders one packet's journey for debugging.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+# Milestone keys in packet.meta, in pipeline order.
+MILESTONES = (
+    ("t_arrived", "MAC arrival"),
+    ("t_classified", "classified"),
+    ("t_enqueued", "enqueued"),
+    ("t_strongarm", "StrongARM"),
+    ("t_pentium", "Pentium"),
+    ("t_transmitted", "transmitted"),
+)
+
+
+def stamps_of(packet) -> List[Tuple[str, int]]:
+    """The packet's milestones, in time order."""
+    present = [
+        (label, packet.meta[key]) for key, label in MILESTONES if key in packet.meta
+    ]
+    return sorted(present, key=lambda pair: pair[1])
+
+
+def total_latency(packet) -> Optional[int]:
+    stamps = stamps_of(packet)
+    if len(stamps) < 2:
+        return None
+    return stamps[-1][1] - stamps[0][1]
+
+
+def latency_report(packets: Iterable, clock_hz: float = 200e6) -> Dict[str, float]:
+    """Aggregate end-to-end latency statistics over forwarded packets."""
+    latencies = sorted(
+        lat for lat in (total_latency(p) for p in packets) if lat is not None
+    )
+    if not latencies:
+        return {"count": 0}
+
+    def percentile(fraction: float) -> int:
+        index = min(len(latencies) - 1, int(fraction * len(latencies)))
+        return latencies[index]
+
+    return {
+        "count": len(latencies),
+        "min_cycles": latencies[0],
+        "p50_cycles": percentile(0.50),
+        "p99_cycles": percentile(0.99),
+        "max_cycles": latencies[-1],
+        "mean_cycles": sum(latencies) / len(latencies),
+        "mean_us": sum(latencies) / len(latencies) / clock_hz * 1e6,
+    }
+
+
+def format_timeline(packet, clock_hz: float = 200e6) -> str:
+    """A human-readable journey for one packet."""
+    stamps = stamps_of(packet)
+    if not stamps:
+        return f"<packet #{packet.packet_id}: no milestones recorded>"
+    origin = stamps[0][1]
+    lines = [f"packet #{packet.packet_id} {packet.ip.src} -> {packet.ip.dst}"]
+    for label, when in stamps:
+        delta = when - origin
+        lines.append(f"  +{delta:>7} cyc ({delta / clock_hz * 1e6:8.2f} us)  {label}")
+    if packet.meta.get("exceptional"):
+        lines.append(f"  (exceptional: {packet.meta['exceptional']})")
+    if packet.meta.get("vrp_drop"):
+        lines.append(f"  (dropped by {packet.meta.get('dropped_by', '?')})")
+    return "\n".join(lines)
+
+
+def stage_breakdown(packets: Iterable) -> Dict[str, float]:
+    """Mean inter-milestone gaps across packets (cycles)."""
+    sums: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for packet in packets:
+        stamps = stamps_of(packet)
+        for (label_a, t_a), (label_b, t_b) in zip(stamps, stamps[1:]):
+            key = f"{label_a} -> {label_b}"
+            sums[key] = sums.get(key, 0.0) + (t_b - t_a)
+            counts[key] = counts.get(key, 0) + 1
+    return {key: sums[key] / counts[key] for key in sums}

@@ -1,0 +1,162 @@
+"""Per-MicroEngine instruction store (ISTORE) with the paper's layout.
+
+Section 4.5 / Figure 11: the 4 KB store holds the fixed router
+infrastructure (RI) at top and bottom, then the classification block,
+zero or more per-flow forwarders, and general forwarders "stored in
+reverse order from the end of the ISTORE, thereby allowing control to
+just fall from one to the next"; the final general forwarder is always
+minimal IP.  Per-flow forwarders end in an indirect jump.
+
+Installing code costs two memory accesses per instruction ("adding a
+10-instruction forwarder to the ISTORE takes 800 cycles, while rewriting
+the entire ISTORE takes over 80,000 cycles"), and the MicroEngine must be
+disabled for the duration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+WRITE_CYCLES_PER_INSTRUCTION = 80  # two accesses x 40 cycles each
+
+
+class IStoreError(RuntimeError):
+    """Raised when an install does not fit or names collide."""
+
+
+class _Segment(NamedTuple):
+    name: str
+    offset: int
+    length: int
+    kind: str  # "per_flow" | "general"
+
+
+class InstructionStore:
+    """One MicroEngine's instruction store.
+
+    ``capacity`` is the total instruction count (1024 on the IXP1200);
+    ``fixed_instructions`` is what the RI plus classifier consume, leaving
+    the paper's 650 slots for extensions by default.
+    """
+
+    def __init__(self, capacity: int = 1024, fixed_instructions: int = 374):
+        if fixed_instructions >= capacity:
+            raise ValueError("fixed infrastructure exceeds ISTORE capacity")
+        self.capacity = capacity
+        self.fixed_instructions = fixed_instructions
+        # Extensions live in [ext_base, capacity); per-flow forwarders grow
+        # up from ext_base, general forwarders grow down from the top.
+        self.ext_base = fixed_instructions
+        self._per_flow: List[_Segment] = []
+        self._general: List[_Segment] = []  # bottom of list = closest to end
+        self.write_cycles_total = 0
+        self.reload_count = 0
+
+    # -- capacity ------------------------------------------------------------
+
+    @property
+    def extension_capacity(self) -> int:
+        return self.capacity - self.fixed_instructions
+
+    @property
+    def used_by_extensions(self) -> int:
+        return sum(s.length for s in self._per_flow) + sum(s.length for s in self._general)
+
+    @property
+    def free_slots(self) -> int:
+        return self.extension_capacity - self.used_by_extensions
+
+    # -- install / remove ------------------------------------------------------
+
+    def _check(self, name: str, length: int) -> None:
+        if length <= 0:
+            raise IStoreError(f"forwarder {name!r} has no instructions")
+        if any(s.name == name for s in self._per_flow + self._general):
+            raise IStoreError(f"forwarder {name!r} already installed")
+        if length > self.free_slots:
+            raise IStoreError(
+                f"forwarder {name!r} needs {length} slots; only {self.free_slots} free"
+            )
+
+    def install_per_flow(self, name: str, length: int) -> int:
+        """Install a per-flow forwarder (ends in an indirect jump back to
+        the RI); returns its ISTORE offset."""
+        self._check(name, length)
+        offset = self.ext_base + sum(s.length for s in self._per_flow)
+        self._per_flow.append(_Segment(name, offset, length, "per_flow"))
+        self.write_cycles_total += self.write_cost(length)
+        return offset
+
+    def install_general(self, name: str, length: int) -> int:
+        """Install a general forwarder at the reverse-stacked end; control
+        falls through from the previously-installed one."""
+        self._check(name, length)
+        offset = self.capacity - sum(s.length for s in self._general) - length
+        self._general.append(_Segment(name, offset, length, "general"))
+        self.write_cycles_total += self.write_cost(length)
+        return offset
+
+    def remove(self, name: str) -> None:
+        """Remove a forwarder; later segments in the same region are
+        compacted (rewritten), and the rewrite cycles are charged."""
+        for region in (self._per_flow, self._general):
+            for i, segment in enumerate(region):
+                if segment.name == name:
+                    del region[i]
+                    moved = sum(s.length for s in region[i:])
+                    self.write_cycles_total += self.write_cost(moved)
+                    self._relayout()
+                    return
+        raise IStoreError(f"forwarder {name!r} is not installed")
+
+    def _relayout(self) -> None:
+        offset = self.ext_base
+        relaid = []
+        for segment in self._per_flow:
+            relaid.append(_Segment(segment.name, offset, segment.length, segment.kind))
+            offset += segment.length
+        self._per_flow = relaid
+        top = self.capacity
+        relaid = []
+        for segment in self._general:
+            top_offset = top - segment.length
+            relaid.append(_Segment(segment.name, top_offset, segment.length, segment.kind))
+            top = top_offset
+        self._general = relaid
+
+    def full_reload(self) -> int:
+        """Rewrite the whole ISTORE (what replacing the classifier would
+        take); returns and charges the cycle cost."""
+        cycles = self.write_cost(self.capacity)
+        self.write_cycles_total += cycles
+        self.reload_count += 1
+        return cycles
+
+    # -- queries ---------------------------------------------------------------
+
+    def offset_of(self, name: str) -> int:
+        for segment in self._per_flow + self._general:
+            if segment.name == name:
+                return segment.offset
+        raise IStoreError(f"forwarder {name!r} is not installed")
+
+    def installed(self) -> Dict[str, Tuple[int, int, str]]:
+        return {
+            s.name: (s.offset, s.length, s.kind)
+            for s in self._per_flow + self._general
+        }
+
+    def general_chain(self) -> List[str]:
+        """General forwarders in fall-through (execution) order: the most
+        recently installed runs first, falling through toward the end."""
+        return [s.name for s in sorted(self._general, key=lambda s: s.offset)]
+
+    @staticmethod
+    def write_cost(instructions: int) -> int:
+        return instructions * WRITE_CYCLES_PER_INSTRUCTION
+
+    def __repr__(self) -> str:
+        return (
+            f"<InstructionStore {self.used_by_extensions}/{self.extension_capacity} "
+            f"extension slots used>"
+        )

@@ -1,0 +1,339 @@
+"""The forwarding pipeline's microengine programs.
+
+:func:`input_loop` is the paper's Figure 5, :func:`output_loop` its
+Figure 6, and :func:`dram_direct_input_loop` the rejected FIFO-bypass
+design of section 3.5.2 (the 2.69 Mpps ablation).  All are generators
+over the :class:`~repro.ixp.microengine.MicroContext` protocol; every
+named register-cycle cost comes from :class:`~repro.ixp.params.CostModel`
+and the memory-operation pattern per MP matches Table 2:
+
+* input: DRAM (0r/2w), SRAM (2r/1w), Scratch (2r/4w);
+* output: DRAM (2r/0w), SRAM (0r/1w), Scratch (2r/2w).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, NamedTuple, Optional
+
+from repro.ixp.buffers import BufferHandle
+from repro.ixp.microengine import MicroContext
+from repro.ixp.queues import InputDiscipline, OutputDiscipline, PacketDescriptor, PacketQueue
+
+
+class WorkItem(NamedTuple):
+    """One MP's worth of input work, as produced by an MP source."""
+
+    out_port: int
+    is_first: bool
+    is_last: bool
+    mp_count: int
+    packet: object          # Packet or None in synthetic timing runs
+    mp: object              # MacPacket or None
+    exceptional: bool
+
+
+class TimedVRP(NamedTuple):
+    """The per-MP cost of the installed VRP code: what Figure 9's "code
+    blocks" are made of.  ``action`` optionally transforms the packet
+    (functional forwarders); timing and function are kept separate so the
+    synthetic experiments can run without packets."""
+
+    reg_cycles: int = 0
+    sram_reads: int = 0
+    sram_writes: int = 0
+    hashes: int = 0
+    action: object = None   # callable(packet, chip) -> None, or None
+
+    @classmethod
+    def blocks(cls, count: int, reg_per_block: int = 10, sram_reads_per_block: int = 1) -> "TimedVRP":
+        """Figure 9/10 code blocks: N blocks of 10 register instructions
+        and/or one 4-byte SRAM read each."""
+        return cls(
+            reg_cycles=count * reg_per_block,
+            sram_reads=count * sram_reads_per_block,
+        )
+
+
+def run_vrp(ctx: MicroContext, chip, vrp: Optional[TimedVRP], item: WorkItem) -> Generator:
+    """Execute the installed VRP code for one MP, charging its budget."""
+    if vrp is None:
+        return
+    if vrp.reg_cycles:
+        yield from ctx.busy(vrp.reg_cycles)
+    if vrp.hashes:
+        yield from chip.hash_unit.use(vrp.hashes)
+    for __ in range(vrp.sram_reads):
+        yield from ctx.mem(chip.sram, "read", "vrp.state")
+    for __ in range(vrp.sram_writes):
+        yield from ctx.mem(chip.sram, "write", "vrp.state")
+    if vrp.action is not None and item.packet is not None and item.is_first:
+        vrp.action(item.packet, chip)
+
+
+# ---------------------------------------------------------------------------
+# Input processing (Figure 5)
+# ---------------------------------------------------------------------------
+
+
+def input_loop(ctx: MicroContext, chip, source) -> Generator:
+    """One input context's endless loop.
+
+    Serialization: the token covers the port-readiness check and the DMA
+    transfer into the input FIFO ("requests to it are not
+    hardware-serialized", section 3.2).  After the token is passed, the
+    context works on its private FIFO slot in parallel with the others.
+    """
+    cost = chip.params.cost
+    yield from ctx.start()
+    while True:
+        yield from ctx.wait_token(chip.input_ring)
+        yield from ctx.busy(cost.input_port_check)
+        item = source.next_mp(ctx)
+        if item is None:
+            yield from ctx.pass_token(chip.input_ring)
+            yield from source.idle_wait(ctx)
+            continue
+        # Program the DMA while holding the token (requests to the single
+        # DMA state machine are not hardware-serialized, section 3.2.2);
+        # the transfer itself into this context's private FIFO slot then
+        # proceeds without the token, serialized by the bus.
+        yield from ctx.busy(cost.input_dma_issue)
+        yield from ctx.pass_token(chip.input_ring)
+        yield from ctx.ix_transfer(chip.ix_bus)
+
+        # calculate_mp_addr(): advance the shared circular buffer ring
+        # pointer (kept in Scratch; the token serialization already
+        # protects it, section 3.2.3).
+        yield from ctx.busy(cost.input_mp_addr_calc)
+        yield from ctx.mem(chip.scratch, "read", "input.bufring")
+        yield from ctx.mem(chip.scratch, "write", "input.bufring")
+        handle = chip.alloc_buffer(item)
+
+        # copy reg_mp_data <- IN_FIFO[c]
+        yield from ctx.busy(cost.input_fifo_to_regs)
+        yield from ctx.yield_me()
+
+        # protocol_processing(): classifier (hash + route-cache probe +
+        # header validation) runs on every MP; the functional
+        # classification decision is made on the first MP of a packet.
+        yield from ctx.busy(cost.input_classify)
+        yield from chip.hash_unit.use(1)
+        if item.is_first:
+            item = chip.classify(item, ctx)
+            if item.packet is not None:
+                item.packet.meta["t_classified"] = ctx.sim.now
+        yield from run_vrp(ctx, chip, chip.vrp_for(item), item)
+        yield from ctx.yield_me()
+        yield from ctx.busy(cost.input_null_forwarder)
+
+        # copy reg_mp_data -> DRAM (64 bytes = two 32-byte transfers).
+        yield from ctx.mem(chip.dram, "write", "input.mp")
+        yield from ctx.mem(chip.dram, "write", "input.mp")
+        chip.store_mp(handle, item)
+
+        # Enqueue the packet descriptor on the first MP -- unless a data
+        # forwarder decided to drop the packet (filter, dropper, TTL).
+        dropped = item.packet is not None and item.packet.meta.get("vrp_drop", False)
+        if dropped and item.is_first:
+            chip.counters["vrp_dropped"] += 1
+        if item.is_first and not dropped:
+            yield from _enqueue(ctx, chip, item, handle)
+
+        yield from ctx.busy(cost.input_loop_overhead)
+        yield from ctx.mem(chip.scratch, "write", "input.portstate")
+        ctx.mps_processed += 1
+        chip.record_input_mp(ctx, item)
+
+
+def _enqueue(ctx: MicroContext, chip, item: WorkItem, handle: BufferHandle) -> Generator:
+    """Insert the packet descriptor into its destination queue, using the
+    configured input discipline (Table 1 rows I.1-I.3)."""
+    cost = chip.params.cost
+    descriptor = PacketDescriptor(
+        handle=handle,
+        packet=item.packet,
+        mp_count=item.mp_count,
+        out_port=item.out_port,
+        enqueue_cycle=ctx.sim.now,
+    )
+    if item.packet is not None:
+        item.packet.meta["t_enqueued"] = ctx.sim.now
+    if item.exceptional:
+        yield from ctx.busy(cost.input_enqueue)
+        yield from ctx.mem(chip.sram, "write", "enqueue.sa-entry")
+        yield from ctx.mem(chip.scratch, "write", "enqueue.sa-ready")
+        chip.enqueue_exceptional(descriptor, item)
+        return
+
+    priority = 0
+    if item.packet is not None:
+        priority = item.packet.meta.get("queue_priority", 0)
+    queue = chip.bank.input_queue_for(
+        item.out_port, input_context=ctx.ctx_id, priority=priority
+    )
+    yield from ctx.busy(cost.input_enqueue)
+    if chip.bank.input_discipline is InputDiscipline.PRIVATE:
+        # I.1: tail pointer lives in this context's registers; only the
+        # entry itself goes to SRAM, plus the readiness summary.
+        yield from ctx.mem(chip.sram, "write", "enqueue.entry")
+        yield from ctx.mem(chip.scratch, "write", "enqueue.ready")
+    else:
+        # I.2/I.3: public queue protected by the hardware mutex.  The
+        # serialized section covers the lock read, the full-check read,
+        # the tail read/update and the entry write -- this is what
+        # collapses under all-to-one-queue contention (row I.3).
+        mutex = chip.queue_mutex(queue)
+        yield from ctx.lock(mutex)
+        yield from ctx.mem(chip.sram, "read", "enqueue.lock")
+        yield from ctx.mem(chip.sram, "read", "enqueue.fullcheck")
+        yield from ctx.mem(chip.scratch, "read", "enqueue.tail")
+        yield from ctx.mem(chip.sram, "write", "enqueue.entry")
+        yield from ctx.mem(chip.scratch, "write", "enqueue.tail")
+        ctx.unlock(mutex)
+        yield from ctx.mem(chip.scratch, "write", "enqueue.ready")
+    accepted = chip.bank.enqueue(queue, descriptor)
+    if not accepted:
+        chip.note_queue_drop(item)
+    else:
+        chip.work_signal.fire()
+
+
+# ---------------------------------------------------------------------------
+# Output processing (Figure 6)
+# ---------------------------------------------------------------------------
+
+
+def output_loop(ctx: MicroContext, chip, ports) -> Generator:
+    """One output context's endless loop, servicing ``ports`` (a list of
+    output port ids statically assigned to this context)."""
+    cost = chip.params.cost
+    discipline = chip.bank.output_discipline
+    yield from ctx.start()
+    current: Optional[list] = None  # [descriptor, mps_remaining]
+    batch_remaining = 0
+    idle_streak = 0
+    while True:
+        # FIFO-slot ordering: acquire and immediately pass (Fig 6, 1-3).
+        yield from ctx.wait_token(chip.output_ring)
+        yield from ctx.busy(cost.output_token)
+        yield from ctx.pass_token(chip.output_ring)
+
+        if current is None:
+            queue, batch_remaining = yield from _select_and_cost(
+                ctx, chip, ports, discipline, batch_remaining
+            )
+            if queue is None:
+                # Nothing ready: back off so an idle router does not
+                # busy-spin the simulator (real contexts spin; backoff
+                # only engages when there is spare capacity anyway).
+                idle_streak += 1
+                backoff = min(200, 20 * idle_streak)
+                yield from ctx.blocked(backoff)
+                continue
+            idle_streak = 0
+            if discipline is OutputDiscipline.SINGLE_BATCHED and batch_remaining > 0:
+                yield from ctx.busy(cost.output_dequeue_batched)
+            else:
+                yield from ctx.busy(cost.output_dequeue)
+            descriptor = chip.bank.dequeue(queue)
+            if descriptor is None:
+                continue
+            # Dequeue commit (Table 2 charges the output stage one SRAM
+            # write per MP; the entry is consumed/cleared here).
+            yield from ctx.mem(chip.sram, "write", "dequeue.commit")
+            batch_remaining = max(0, batch_remaining - 1)
+            current = [descriptor, descriptor.mp_count]
+
+        # Move one MP: DRAM -> output FIFO -> port memory.
+        yield from ctx.busy(cost.output_mp_addr + cost.output_fifo_addr)
+        yield from ctx.busy(cost.output_dram_issue)
+        yield from ctx.mem(chip.dram, "read", "output.mp")
+        yield from ctx.mem(chip.dram, "read", "output.mp")
+        yield from ctx.busy(cost.output_fifo_copy)
+        yield from ctx.mem(chip.scratch, "read", "output.qstate")
+        yield from ctx.mem(chip.scratch, "write", "output.head")
+        yield from ctx.busy(cost.output_enable_slot)
+        yield from ctx.ix_transfer(chip.ix_bus)
+        yield from ctx.busy(cost.output_loop_overhead)
+        ctx.mps_processed += 1
+
+        current[1] -= 1
+        chip.record_output_mp(ctx, current[0])
+        if current[1] <= 0:
+            chip.complete_packet(current[0])
+            current = None
+
+
+def _select_and_cost(ctx, chip, ports, discipline, batch_remaining):
+    """select_queue(): pick a non-empty queue for one of this context's
+    ports, charging the discipline's cost (Table 1 rows O.1-O.3)."""
+    cost = chip.params.cost
+    if discipline is OutputDiscipline.SINGLE_BATCHED:
+        if batch_remaining > 0:
+            yield from ctx.busy(cost.output_select_batched)
+        else:
+            # Batch boundary: the one head-pointer check covers the batch.
+            yield from ctx.busy(cost.output_select_queue)
+            yield from ctx.mem(chip.scratch, "read", "select.head")
+            batch_remaining = chip.config.batch_size
+    elif discipline is OutputDiscipline.SINGLE_UNBATCHED:
+        # Head pointer checked from memory on every iteration.
+        yield from ctx.busy(cost.output_select_queue)
+        yield from ctx.mem(chip.scratch, "read", "select.head")
+        batch_remaining = 0
+    else:  # MULTI_INDIRECT
+        # Consult the readiness bit-array, then scan priorities.
+        yield from ctx.mem(chip.scratch, "read", "select.bits")
+        yield from ctx.busy(cost.output_select_queue + cost.output_select_multi_extra)
+        batch_remaining = 0
+
+    queue = chip.select_output_queue(ports, discipline)
+    return queue, batch_remaining
+
+
+# ---------------------------------------------------------------------------
+# Ablation: FIFO bypass via DRAM (section 3.5.2, "saturated DRAM while
+# forwarding 2.69 Mpps")
+# ---------------------------------------------------------------------------
+
+
+def dram_direct_input_loop(ctx: MicroContext, chip, source) -> Generator:
+    """The rejected design: ports transfer packets directly to and from
+    DRAM, so each 64-byte MP costs four DRAM accesses on the input side
+    alone (port->DRAM, DRAM->registers, registers->DRAM) plus the output
+    side's DRAM->port; the memory channel, not the engines, saturates.
+    """
+    cost = chip.params.cost
+    yield from ctx.start()
+    while True:
+        yield from ctx.wait_token(chip.input_ring)
+        yield from ctx.busy(cost.input_port_check)
+        item = source.next_mp(ctx)
+        if item is None:
+            yield from ctx.pass_token(chip.input_ring)
+            yield from source.idle_wait(ctx)
+            continue
+        yield from ctx.busy(cost.input_dma_issue)
+        yield from ctx.pass_token(chip.input_ring)
+        # port -> DRAM (done by the DMA, but the accesses hit the channel)
+        yield from ctx.mem(chip.dram, "write", "direct.port-to-dram")
+        yield from ctx.mem(chip.dram, "write", "direct.port-to-dram")
+        handle = chip.alloc_buffer(item)
+        # DRAM -> registers
+        yield from ctx.mem(chip.dram, "read", "direct.dram-to-regs")
+        yield from ctx.mem(chip.dram, "read", "direct.dram-to-regs")
+        yield from ctx.busy(cost.input_classify)
+        yield from chip.hash_unit.use(1)
+        if item.is_first:
+            item = chip.classify(item, ctx)
+        yield from ctx.busy(cost.input_null_forwarder)
+        # registers -> DRAM
+        yield from ctx.mem(chip.dram, "write", "direct.regs-to-dram")
+        yield from ctx.mem(chip.dram, "write", "direct.regs-to-dram")
+        chip.store_mp(handle, item)
+        if item.is_first:
+            yield from _enqueue(ctx, chip, item, handle)
+        yield from ctx.busy(cost.input_loop_overhead)
+        yield from ctx.mem(chip.scratch, "write", "input.portstate")
+        ctx.mps_processed += 1
+        chip.record_input_mp(ctx, item)

@@ -1,0 +1,44 @@
+"""Networking substrate: packets, headers, MAC ports, traffic, routing.
+
+Everything the router forwards is a real byte-level packet: Ethernet
+frames carrying IPv4 (optionally TCP) built and parsed by this package.
+The IXP1200 transfers data in 64-byte *MAC-packets* (MPs); segmentation
+and reassembly live in :mod:`repro.net.mp`.
+"""
+
+from repro.net.addresses import IPv4Address, MACAddress
+from repro.net.ethernet import ETHERTYPE_IPV4, EthernetHeader
+from repro.net.ip import IPv4Header, checksum16
+from repro.net.mac import MACPort, PortSpeed
+from repro.net.mp import MacPacket, MPPosition, reassemble_mps, segment_packet
+from repro.net.packet import FlowKey, Packet, make_tcp_packet, make_udp_like_packet
+from repro.net.routing import Route, RouteCache, RoutingTable
+from repro.net.tcp import TCP_ACK, TCP_FIN, TCP_PSH, TCP_RST, TCP_SYN, TCPHeader
+
+__all__ = [
+    "ETHERTYPE_IPV4",
+    "EthernetHeader",
+    "FlowKey",
+    "IPv4Address",
+    "IPv4Header",
+    "MACAddress",
+    "MACPort",
+    "MacPacket",
+    "MPPosition",
+    "Packet",
+    "PortSpeed",
+    "Route",
+    "RouteCache",
+    "RoutingTable",
+    "TCP_ACK",
+    "TCP_FIN",
+    "TCP_PSH",
+    "TCP_RST",
+    "TCP_SYN",
+    "TCPHeader",
+    "checksum16",
+    "make_tcp_packet",
+    "make_udp_like_packet",
+    "reassemble_mps",
+    "segment_packet",
+]

@@ -1,0 +1,69 @@
+"""Ethernet (DIX) frame header codec."""
+
+from __future__ import annotations
+
+from repro.net.addresses import MACAddress
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_ARP = 0x0806
+
+HEADER_LEN = 14
+MIN_FRAME_LEN = 64      # including 4-byte FCS
+MAX_FRAME_LEN = 1518    # "maximally sized (1518 octet frame)" per the paper
+FCS_LEN = 4
+
+# Wire overhead per frame beyond the frame bytes themselves: 8 bytes of
+# preamble + SFD and 12 bytes of inter-frame gap.  This is what makes the
+# theoretical maximum for 64-byte frames on 100 Mbps Ethernet 148.8 Kpps
+# (the paper cites this, calculated from IEEE 802.3).
+PREAMBLE_LEN = 8
+INTERFRAME_GAP = 12
+WIRE_OVERHEAD = PREAMBLE_LEN + INTERFRAME_GAP
+
+
+class EthernetHeader:
+    """The 14-byte DIX Ethernet header."""
+
+    __slots__ = ("dst", "src", "ethertype")
+
+    def __init__(self, dst: MACAddress, src: MACAddress, ethertype: int = ETHERTYPE_IPV4):
+        self.dst = dst
+        self.src = src
+        if not 0 <= ethertype <= 0xFFFF:
+            raise ValueError(f"bad ethertype {ethertype:#x}")
+        self.ethertype = ethertype
+
+    def packed(self) -> bytes:
+        return self.dst.packed() + self.src.packed() + self.ethertype.to_bytes(2, "big")
+
+    @classmethod
+    def parse(cls, data: bytes) -> "EthernetHeader":
+        if len(data) < HEADER_LEN:
+            raise ValueError(f"truncated Ethernet header: {len(data)} bytes")
+        return cls(
+            dst=MACAddress.from_bytes(data[0:6]),
+            src=MACAddress.from_bytes(data[6:12]),
+            ethertype=int.from_bytes(data[12:14], "big"),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, EthernetHeader)
+            and self.dst == other.dst
+            and self.src == other.src
+            and self.ethertype == other.ethertype
+        )
+
+    def __repr__(self) -> str:
+        return f"EthernetHeader(dst={self.dst}, src={self.src}, type={self.ethertype:#06x})"
+
+
+def wire_bits(frame_len: int) -> int:
+    """Bits a frame of ``frame_len`` bytes occupies on the wire, including
+    preamble and inter-frame gap."""
+    return (frame_len + WIRE_OVERHEAD) * 8
+
+
+def max_frame_rate(bps: float, frame_len: int = MIN_FRAME_LEN) -> float:
+    """Theoretical maximum frames/second on a link of ``bps`` bits/second."""
+    return bps / wire_bits(frame_len)

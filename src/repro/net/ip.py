@@ -1,0 +1,209 @@
+"""IPv4 header codec: parse, build, validate, checksum, options.
+
+The paper's minimal-IP forwarder does exactly: validate the header,
+decrement TTL, recompute the checksum, rewrite the Ethernet addresses.
+Packets with IP options are *exceptional* and climb the processor
+hierarchy; this module models options explicitly so that path is real.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.net.addresses import IPv4Address
+
+MIN_HEADER_LEN = 20
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+# IP option kinds we recognise (presence of any option makes the packet
+# exceptional for the fast path, matching the paper).
+OPT_END = 0
+OPT_NOP = 1
+OPT_RECORD_ROUTE = 7
+OPT_TIMESTAMP = 68
+
+
+def checksum16(data: bytes, initial: int = 0) -> int:
+    """RFC 1071 ones-complement 16-bit checksum."""
+    acc = initial
+    length = len(data)
+    # Sum 16-bit big-endian words.
+    for i in range(0, length - 1, 2):
+        acc += (data[i] << 8) | data[i + 1]
+    if length % 2:
+        acc += data[-1] << 8
+    while acc > 0xFFFF:
+        acc = (acc & 0xFFFF) + (acc >> 16)
+    return (~acc) & 0xFFFF
+
+
+class IPv4Header:
+    """A mutable IPv4 header (mutable because forwarders decrement TTL)."""
+
+    __slots__ = (
+        "version", "ihl", "tos", "total_length", "identification",
+        "flags", "fragment_offset", "ttl", "protocol", "checksum",
+        "src", "dst", "options",
+    )
+
+    def __init__(
+        self,
+        src: IPv4Address,
+        dst: IPv4Address,
+        *,
+        total_length: int = MIN_HEADER_LEN,
+        ttl: int = 64,
+        protocol: int = PROTO_TCP,
+        tos: int = 0,
+        identification: int = 0,
+        flags: int = 0,
+        fragment_offset: int = 0,
+        options: bytes = b"",
+    ):
+        if options and len(options) % 4 != 0:
+            raise ValueError("IP options must be padded to 32-bit words")
+        if len(options) > 40:
+            raise ValueError("IP options exceed 40 bytes")
+        self.version = 4
+        self.ihl = (MIN_HEADER_LEN + len(options)) // 4
+        self.tos = tos
+        self.total_length = total_length
+        self.identification = identification
+        self.flags = flags
+        self.fragment_offset = fragment_offset
+        self.ttl = ttl
+        self.protocol = protocol
+        self.checksum = 0
+        self.src = src
+        self.dst = dst
+        self.options = options
+
+    @property
+    def header_length(self) -> int:
+        return self.ihl * 4
+
+    @property
+    def has_options(self) -> bool:
+        return self.ihl > 5
+
+    def packed(self, fill_checksum: bool = True) -> bytes:
+        """Serialize.  With ``fill_checksum`` the checksum field is
+        recomputed; otherwise the stored value is used verbatim."""
+        header = bytearray(self.header_length)
+        header[0] = (self.version << 4) | self.ihl
+        header[1] = self.tos
+        header[2:4] = self.total_length.to_bytes(2, "big")
+        header[4:6] = self.identification.to_bytes(2, "big")
+        flags_frag = (self.flags << 13) | self.fragment_offset
+        header[6:8] = flags_frag.to_bytes(2, "big")
+        header[8] = self.ttl
+        header[9] = self.protocol
+        header[10:12] = b"\x00\x00"
+        header[12:16] = self.src.packed()
+        header[16:20] = self.dst.packed()
+        if self.options:
+            header[20:20 + len(self.options)] = self.options
+        if fill_checksum:
+            self.checksum = checksum16(bytes(header))
+        header[10:12] = self.checksum.to_bytes(2, "big")
+        return bytes(header)
+
+    @classmethod
+    def parse(cls, data: bytes) -> "IPv4Header":
+        if len(data) < MIN_HEADER_LEN:
+            raise ValueError(f"truncated IPv4 header: {len(data)} bytes")
+        version = data[0] >> 4
+        ihl = data[0] & 0x0F
+        if version != 4:
+            raise ValueError(f"not IPv4 (version={version})")
+        if ihl < 5:
+            raise ValueError(f"bad IHL {ihl}")
+        header_len = ihl * 4
+        if len(data) < header_len:
+            raise ValueError("IHL exceeds available bytes")
+        flags_frag = int.from_bytes(data[6:8], "big")
+        header = cls(
+            src=IPv4Address.from_bytes(data[12:16]),
+            dst=IPv4Address.from_bytes(data[16:20]),
+            total_length=int.from_bytes(data[2:4], "big"),
+            ttl=data[8],
+            protocol=data[9],
+            tos=data[1],
+            identification=int.from_bytes(data[4:6], "big"),
+            flags=flags_frag >> 13,
+            fragment_offset=flags_frag & 0x1FFF,
+            options=bytes(data[20:header_len]),
+        )
+        header.checksum = int.from_bytes(data[10:12], "big")
+        return header
+
+    def validate(self, frame_payload_len: Optional[int] = None) -> Tuple[bool, str]:
+        """The classifier's header validation: version, length fields and
+        checksum (paper: "the checksum verified and the version and length
+        fields checked").  Returns (ok, reason)."""
+        if self.version != 4:
+            return False, "bad-version"
+        if self.ihl < 5:
+            return False, "bad-ihl"
+        if self.total_length < self.header_length:
+            return False, "bad-total-length"
+        if frame_payload_len is not None and self.total_length > frame_payload_len:
+            return False, "length-exceeds-frame"
+        if checksum16(self.packed(fill_checksum=False)) != 0:
+            return False, "bad-checksum"
+        return True, "ok"
+
+    def decrement_ttl(self) -> bool:
+        """Forwarding-time TTL handling.  Returns False if the packet must
+        be dropped (TTL expired)."""
+        if self.ttl <= 1:
+            return False
+        self.ttl -= 1
+        return True
+
+    def option_kinds(self) -> List[int]:
+        kinds = []
+        i = 0
+        opts = self.options
+        while i < len(opts):
+            kind = opts[i]
+            if kind == OPT_END:
+                break
+            if kind == OPT_NOP:
+                i += 1
+                continue
+            kinds.append(kind)
+            if i + 1 >= len(opts):
+                break
+            length = opts[i + 1]
+            if length < 2:
+                break
+            i += length
+        return kinds
+
+    def copy(self) -> "IPv4Header":
+        dup = IPv4Header(
+            self.src, self.dst,
+            total_length=self.total_length, ttl=self.ttl,
+            protocol=self.protocol, tos=self.tos,
+            identification=self.identification, flags=self.flags,
+            fragment_offset=self.fragment_offset, options=self.options,
+        )
+        dup.checksum = self.checksum
+        return dup
+
+    def __repr__(self) -> str:
+        return (
+            f"IPv4Header({self.src} -> {self.dst}, proto={self.protocol}, "
+            f"ttl={self.ttl}, len={self.total_length})"
+        )
+
+
+def record_route_option(slots: int = 4) -> bytes:
+    """A well-formed Record Route option padded to a 32-bit boundary."""
+    length = 3 + 4 * slots
+    option = bytes([OPT_RECORD_ROUTE, length, 4]) + b"\x00" * (4 * slots)
+    pad = (-len(option)) % 4
+    return option + bytes([OPT_END] * pad)

@@ -1,0 +1,115 @@
+"""MAC-packets (MPs): the IXP1200's 64-byte unit of data transfer.
+
+"As each packet is received, the MAC breaks it into separate MPs; tags
+each MP as being the first, an intermediate, the last, or the only MP of
+the packet" (paper, section 3.1).  The forwarding pipeline, the FIFOs and
+the DRAM buffers all operate on MPs; this module provides segmentation
+and reassembly plus the position tags.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Any, Iterable, List, Optional
+
+MP_SIZE = 64
+
+
+class MPPosition(enum.Enum):
+    """The MAC's tag on each MP."""
+
+    FIRST = "first"
+    MIDDLE = "middle"
+    LAST = "last"
+    ONLY = "only"
+
+    @property
+    def starts_packet(self) -> bool:
+        return self in (MPPosition.FIRST, MPPosition.ONLY)
+
+    @property
+    def ends_packet(self) -> bool:
+        return self in (MPPosition.LAST, MPPosition.ONLY)
+
+
+class MacPacket:
+    """One 64-byte (or final partial) chunk of a frame.
+
+    ``packet`` keeps a reference to the originating
+    :class:`~repro.net.packet.Packet` so the first MP can carry
+    classification results, exactly as the paper's input stage attaches
+    processing state to the first MP.
+    """
+
+    __slots__ = ("data", "position", "port", "packet", "index", "state")
+
+    def __init__(
+        self,
+        data: bytes,
+        position: MPPosition,
+        port: int = 0,
+        packet: Any = None,
+        index: int = 0,
+    ):
+        if len(data) == 0 or len(data) > MP_SIZE:
+            raise ValueError(f"MP must hold 1..{MP_SIZE} bytes, got {len(data)}")
+        self.data = data
+        self.position = position
+        self.port = port
+        self.packet = packet
+        self.index = index
+        self.state: Any = None  # protocol-processing results ride on the MP
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return f"<MP {self.position.value} #{self.index} port={self.port} {len(self.data)}B>"
+
+
+def mp_count(frame_len: int) -> int:
+    """Number of MPs a frame of ``frame_len`` bytes occupies.
+
+    The paper: "forwarding a 1500-byte packet involves forwarding
+    twenty-four 64-byte MPs" (1500/64 -> 24 with ceiling).
+    """
+    if frame_len <= 0:
+        raise ValueError(f"bad frame length {frame_len}")
+    return math.ceil(frame_len / MP_SIZE)
+
+
+def segment_packet(packet: Any, frame_bytes: Optional[bytes] = None, port: int = 0) -> List[MacPacket]:
+    """Split a packet's frame into tagged MPs (what the MAC hardware does)."""
+    data = frame_bytes if frame_bytes is not None else packet.to_bytes()
+    total = mp_count(len(data))
+    mps = []
+    for index in range(total):
+        chunk = data[index * MP_SIZE:(index + 1) * MP_SIZE]
+        if total == 1:
+            position = MPPosition.ONLY
+        elif index == 0:
+            position = MPPosition.FIRST
+        elif index == total - 1:
+            position = MPPosition.LAST
+        else:
+            position = MPPosition.MIDDLE
+        mps.append(MacPacket(chunk, position, port=port, packet=packet, index=index))
+    return mps
+
+
+def reassemble_mps(mps: Iterable[MacPacket]) -> bytes:
+    """Reassemble MP payloads into the original frame, validating tags."""
+    chunks: List[bytes] = []
+    mps = list(mps)
+    if not mps:
+        raise ValueError("no MPs to reassemble")
+    for i, mp in enumerate(mps):
+        expected_start = i == 0
+        expected_end = i == len(mps) - 1
+        if mp.position.starts_packet != expected_start or mp.position.ends_packet != expected_end:
+            raise ValueError(f"MP {i} has inconsistent position tag {mp.position}")
+        if not expected_end and len(mp.data) != MP_SIZE:
+            raise ValueError(f"non-final MP {i} is short ({len(mp.data)} bytes)")
+        chunks.append(mp.data)
+    return b"".join(chunks)

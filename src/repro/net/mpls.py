@@ -1,0 +1,145 @@
+"""MPLS shim headers and label operations.
+
+The paper notes its fixed infrastructure "applies equally well to a
+router that supports, for example, MPLS" (section 3) and that "the
+classifier could itself be replaced with one that also understands, say,
+MPLS labels" (section 4.5).  This module provides the 4-byte label stack
+encoding (RFC 3032) and push/pop/swap operations on packets; the
+replacement classifier lives in :mod:`repro.core.mpls`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+ETHERTYPE_MPLS = 0x8847
+HEADER_LEN = 4
+MAX_LABEL = (1 << 20) - 1
+
+# Reserved labels (RFC 3032).
+LABEL_IPV4_EXPLICIT_NULL = 0
+LABEL_ROUTER_ALERT = 1
+LABEL_IMPLICIT_NULL = 3
+
+
+class MPLSHeader:
+    """One 32-bit label stack entry: label(20) | tc(3) | s(1) | ttl(8)."""
+
+    __slots__ = ("label", "tc", "bottom", "ttl")
+
+    def __init__(self, label: int, tc: int = 0, bottom: bool = False, ttl: int = 64):
+        if not 0 <= label <= MAX_LABEL:
+            raise ValueError(f"label out of range: {label}")
+        if not 0 <= tc <= 7:
+            raise ValueError(f"traffic class out of range: {tc}")
+        if not 0 <= ttl <= 255:
+            raise ValueError(f"TTL out of range: {ttl}")
+        self.label = label
+        self.tc = tc
+        self.bottom = bottom
+        self.ttl = ttl
+
+    def packed(self) -> bytes:
+        word = (self.label << 12) | (self.tc << 9) | (int(self.bottom) << 8) | self.ttl
+        return word.to_bytes(4, "big")
+
+    @classmethod
+    def parse(cls, data: bytes) -> "MPLSHeader":
+        if len(data) < HEADER_LEN:
+            raise ValueError("truncated MPLS header")
+        word = int.from_bytes(data[:4], "big")
+        return cls(
+            label=word >> 12,
+            tc=(word >> 9) & 0x7,
+            bottom=bool((word >> 8) & 0x1),
+            ttl=word & 0xFF,
+        )
+
+    def copy(self) -> "MPLSHeader":
+        return MPLSHeader(self.label, self.tc, self.bottom, self.ttl)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, MPLSHeader)
+            and (self.label, self.tc, self.bottom, self.ttl)
+            == (other.label, other.tc, other.bottom, other.ttl)
+        )
+
+    def __repr__(self) -> str:
+        s = "S" if self.bottom else "-"
+        return f"<MPLS {self.label} tc={self.tc} {s} ttl={self.ttl}>"
+
+
+def pack_stack(labels: List[MPLSHeader]) -> bytes:
+    """Serialize a label stack, forcing the bottom-of-stack bit."""
+    if not labels:
+        return b""
+    out = bytearray()
+    for i, header in enumerate(labels):
+        entry = header.copy()
+        entry.bottom = i == len(labels) - 1
+        out += entry.packed()
+    return bytes(out)
+
+
+def parse_stack(data: bytes) -> List[MPLSHeader]:
+    """Parse entries until the bottom-of-stack bit."""
+    labels: List[MPLSHeader] = []
+    offset = 0
+    while True:
+        header = MPLSHeader.parse(data[offset:])
+        labels.append(header)
+        offset += HEADER_LEN
+        if header.bottom:
+            return labels
+        if offset >= len(data):
+            raise ValueError("label stack has no bottom-of-stack bit")
+
+
+# -- packet-level operations ---------------------------------------------------
+
+
+def label_stack(packet) -> List[MPLSHeader]:
+    """The packet's label stack (stored in packet.meta)."""
+    return packet.meta.setdefault("mpls_stack", [])
+
+
+def push(packet, label: int, tc: int = 0, ttl: Optional[int] = None) -> None:
+    """Push a label onto the packet's stack (ingress labeling); the TTL
+    is copied from the IP header on the first push."""
+    stack = label_stack(packet)
+    if ttl is None:
+        ttl = stack[0].ttl if stack else packet.ip.ttl
+    stack.insert(0, MPLSHeader(label, tc=tc, ttl=ttl))
+    packet.eth.ethertype = ETHERTYPE_MPLS
+
+
+def pop(packet) -> MPLSHeader:
+    """Pop the top label; restores the IPv4 ethertype when the stack
+    empties (penultimate-hop popping)."""
+    stack = label_stack(packet)
+    if not stack:
+        raise ValueError("pop from empty label stack")
+    header = stack.pop(0)
+    if not stack:
+        from repro.net.ethernet import ETHERTYPE_IPV4
+
+        packet.eth.ethertype = ETHERTYPE_IPV4
+    return header
+
+
+def swap(packet, new_label: int) -> MPLSHeader:
+    """Swap the top label (LSR transit), decrementing its TTL; returns
+    the old entry."""
+    stack = label_stack(packet)
+    if not stack:
+        raise ValueError("swap on empty label stack")
+    old = stack[0]
+    replacement = MPLSHeader(new_label, tc=old.tc, ttl=max(0, old.ttl - 1))
+    stack[0] = replacement
+    return old
+
+
+def top_label(packet) -> Optional[int]:
+    stack = packet.meta.get("mpls_stack")
+    return stack[0].label if stack else None

@@ -1,0 +1,135 @@
+"""TCP header codec.
+
+Needed by the example forwarders: the ACK monitor watches duplicate ACKs,
+the SYN monitor counts SYN rates, and the TCP splicer rewrites
+sequence/ack numbers and ports on every spliced packet.
+"""
+
+from __future__ import annotations
+
+from repro.net.addresses import IPv4Address
+from repro.net.ip import PROTO_TCP, checksum16
+
+MIN_HEADER_LEN = 20
+
+TCP_FIN = 0x01
+TCP_SYN = 0x02
+TCP_RST = 0x04
+TCP_PSH = 0x08
+TCP_ACK = 0x10
+TCP_URG = 0x20
+
+_FLAG_NAMES = [
+    (TCP_FIN, "FIN"), (TCP_SYN, "SYN"), (TCP_RST, "RST"),
+    (TCP_PSH, "PSH"), (TCP_ACK, "ACK"), (TCP_URG, "URG"),
+]
+
+
+class TCPHeader:
+    """A mutable TCP header (mutable because the splicer patches it)."""
+
+    __slots__ = (
+        "src_port", "dst_port", "seq", "ack", "data_offset",
+        "flags", "window", "checksum", "urgent",
+    )
+
+    def __init__(
+        self,
+        src_port: int,
+        dst_port: int,
+        *,
+        seq: int = 0,
+        ack: int = 0,
+        flags: int = TCP_ACK,
+        window: int = 65535,
+        urgent: int = 0,
+    ):
+        for name, port in (("src_port", src_port), ("dst_port", dst_port)):
+            if not 0 <= port <= 0xFFFF:
+                raise ValueError(f"bad {name}: {port}")
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.seq = seq & 0xFFFFFFFF
+        self.ack = ack & 0xFFFFFFFF
+        self.data_offset = 5
+        self.flags = flags
+        self.window = window
+        self.checksum = 0
+        self.urgent = urgent
+
+    @property
+    def header_length(self) -> int:
+        return self.data_offset * 4
+
+    def flag_names(self) -> str:
+        return "|".join(name for bit, name in _FLAG_NAMES if self.flags & bit) or "-"
+
+    def packed(self) -> bytes:
+        header = bytearray(MIN_HEADER_LEN)
+        header[0:2] = self.src_port.to_bytes(2, "big")
+        header[2:4] = self.dst_port.to_bytes(2, "big")
+        header[4:8] = self.seq.to_bytes(4, "big")
+        header[8:12] = self.ack.to_bytes(4, "big")
+        header[12] = self.data_offset << 4
+        header[13] = self.flags
+        header[14:16] = self.window.to_bytes(2, "big")
+        header[16:18] = self.checksum.to_bytes(2, "big")
+        header[18:20] = self.urgent.to_bytes(2, "big")
+        return bytes(header)
+
+    def packed_with_checksum(self, src: IPv4Address, dst: IPv4Address, payload: bytes) -> bytes:
+        """Serialize with a correct checksum over the IPv4 pseudo-header."""
+        self.checksum = 0
+        segment = self.packed() + payload
+        pseudo = (
+            src.packed()
+            + dst.packed()
+            + b"\x00"
+            + bytes([PROTO_TCP])
+            + len(segment).to_bytes(2, "big")
+        )
+        self.checksum = checksum16(pseudo + segment)
+        return self.packed() + payload
+
+    def verify_checksum(self, src: IPv4Address, dst: IPv4Address, payload: bytes) -> bool:
+        segment = self.packed() + payload
+        pseudo = (
+            src.packed()
+            + dst.packed()
+            + b"\x00"
+            + bytes([PROTO_TCP])
+            + len(segment).to_bytes(2, "big")
+        )
+        return checksum16(pseudo + segment) == 0
+
+    @classmethod
+    def parse(cls, data: bytes) -> "TCPHeader":
+        if len(data) < MIN_HEADER_LEN:
+            raise ValueError(f"truncated TCP header: {len(data)} bytes")
+        header = cls(
+            src_port=int.from_bytes(data[0:2], "big"),
+            dst_port=int.from_bytes(data[2:4], "big"),
+            seq=int.from_bytes(data[4:8], "big"),
+            ack=int.from_bytes(data[8:12], "big"),
+            flags=data[13],
+            window=int.from_bytes(data[14:16], "big"),
+            urgent=int.from_bytes(data[18:20], "big"),
+        )
+        header.data_offset = data[12] >> 4
+        header.checksum = int.from_bytes(data[16:18], "big")
+        return header
+
+    def copy(self) -> "TCPHeader":
+        dup = TCPHeader(
+            self.src_port, self.dst_port, seq=self.seq, ack=self.ack,
+            flags=self.flags, window=self.window, urgent=self.urgent,
+        )
+        dup.data_offset = self.data_offset
+        dup.checksum = self.checksum
+        return dup
+
+    def __repr__(self) -> str:
+        return (
+            f"TCPHeader({self.src_port} -> {self.dst_port}, seq={self.seq}, "
+            f"ack={self.ack}, flags={self.flag_names()})"
+        )

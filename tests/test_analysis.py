@@ -1,0 +1,83 @@
+"""Tests for the closed-form envelope and the robustness experiments."""
+
+import pytest
+
+from repro.analysis import full_suite_vrp, paper_envelope, run_exceptional_flood, run_vrp_pentium_share
+from repro.analysis.envelope import dram_bandwidth_check, memory_delay_per_packet
+
+
+def test_envelope_matches_paper_arithmetic():
+    env = paper_envelope()
+    assert env.register_cycles_per_packet == 280
+    # Paper: 430 cycles of memory delay (their rounding); ours from the
+    # same tables lands within ~7%.
+    assert env.memory_delay_cycles_per_packet == pytest.approx(430, rel=0.08)
+    assert env.total_cycles_per_packet == pytest.approx(710, rel=0.05)
+    assert env.optimistic_bound_pps == pytest.approx(4.29e6, rel=0.01)
+    assert env.efficiency == pytest.approx(0.80, abs=0.03)
+    # "the system is able to forward a little over 12 packets in parallel"
+    assert 11.5 < env.packets_in_parallel < 13.5
+    # The 1.77 Gbps headline.
+    assert env.aggregate_gbps_min_packets == pytest.approx(1.77, abs=0.02)
+
+
+def test_envelope_summary_readable():
+    text = paper_envelope().summary()
+    assert "280 register" in text
+    assert "Mpps" in text
+
+
+def test_dram_bandwidth_sanity():
+    check = dram_bandwidth_check()
+    assert check["dram_gbps"] == pytest.approx(6.4)
+    assert check["ports_send_receive_gbps"] == pytest.approx(5.6)
+    assert check["dram_covers_ports"]
+    # "this rate exceeds the 4Gbps peak capacity of the IX bus"
+    assert not check["ix_bus_covers_ports"]
+
+
+def test_memory_delay_uses_table_2_and_3():
+    # DRAM: 2r + 2w = 2*52 + 2*40 = 184
+    # SRAM: 2r + 2w = 2*22 + 2*22 = 88
+    # Scratch: 4r + 6w = 4*16 + 6*20 = 184
+    assert memory_delay_per_packet() == 184 + 88 + 184
+
+
+def test_full_suite_uses_most_of_budget():
+    from repro.core.vrp import PROTOTYPE_BUDGET
+
+    suite = full_suite_vrp()
+    total_transfers = suite.sram_reads + suite.sram_writes
+    assert total_transfers == pytest.approx(PROTOTYPE_BUDGET.sram_transfers, abs=2)
+    assert 140 <= suite.reg_cycles <= PROTOTYPE_BUDGET.cycles
+
+
+def test_robustness_small_pentium_share_is_lossless():
+    result = run_vrp_pentium_share(8, window=200_000)
+    assert result.lossless
+    assert result.pentium_processed_pps == pytest.approx(1.128e6 / 8, rel=0.1)
+    assert result.forwarded_pps == pytest.approx(1.128e6, rel=0.1)
+
+
+def test_robustness_oversized_share_detected():
+    result = run_vrp_pentium_share(2, window=250_000)
+    assert not result.lossless
+    # The Pentium saturates near its Table 4 limit with 1510-cycle work.
+    assert result.pentium_processed_pps == pytest.approx(307e3, rel=0.1)
+
+
+def test_robustness_share_every_validated():
+    with pytest.raises(ValueError):
+        run_vrp_pentium_share(1)
+
+
+def test_exceptional_flood_does_not_hurt_fast_path():
+    light = run_exceptional_flood(32, window=150_000)
+    heavy = run_exceptional_flood(4, window=150_000)
+    # Fast-path forwarding continues at multi-Mpps either way.
+    assert light.forwarded_pps > 3e6
+    assert heavy.forwarded_pps > 2.5e6
+    assert light.fast_path_drops == 0
+    assert heavy.fast_path_drops == 0
+    # The overload shows up only as exceptional-queue drops.
+    assert heavy.sa_queue_drops >= 0

@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_default(capsys):
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    assert "table1" in out and "robustness" in out
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    assert "experiments:" in capsys.readouterr().out
+
+
+def test_envelope(capsys):
+    assert main(["envelope"]) == 0
+    out = capsys.readouterr().out
+    assert "register cycles/packet" in out
+    assert "280" in out
+    assert "4.29" in out
+
+
+def test_plan(capsys):
+    assert main(["plan", "100", "100", "100", "100"]) == 0
+    out = capsys.readouterr().out
+    assert "line rate" in out
+    assert "port 3" in out
+
+
+def test_plan_rejects_odd_speed():
+    with pytest.raises(SystemExit):
+        main(["plan", "10"])
+
+
+def test_table1_small_window(capsys):
+    assert main(["table1", "--window", "40000"]) == 0
+    out = capsys.readouterr().out
+    assert "I.1" in out and "O.3" in out
+
+
+def test_paths_small_window(capsys):
+    assert main(["paths", "--window", "60000"]) == 0
+    out = capsys.readouterr().out
+    assert "MicroEngines" in out and "Pentium" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

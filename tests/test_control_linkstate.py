@@ -1,0 +1,150 @@
+"""Tests for the link-state routing protocol (the control plane's OSPF
+stand-in)."""
+
+import pytest
+
+from repro.control import LinkStateAd, LinkStateNetwork, LinkStateNode
+
+
+def triangle():
+    """Three routers in a triangle with one attached network each."""
+    net = LinkStateNetwork()
+    for rid in (1, 2, 3):
+        node = net.add_node(rid)
+        node.attach_network(f"10.{rid}.0.0", 16, port=0)
+    # ports: toward the lower-numbered neighbor on port 1, higher on 2.
+    net.connect(1, 2, cost=1, port_a=2, port_b=1)
+    net.connect(2, 3, cost=1, port_a=2, port_b=1)
+    net.connect(1, 3, cost=5, port_a=3, port_b=3)
+    return net
+
+
+def test_lsa_roundtrip():
+    lsa = LinkStateAd(1, 7, ((2, 1), (3, 5)), (("10.1.0.0", 16, 0),))
+    assert LinkStateAd.from_bytes(lsa.to_bytes()) == lsa
+
+
+def test_flooding_converges_lsdbs():
+    net = triangle()
+    net.converge()
+    nodes = list(net.nodes.values())
+    for a in nodes:
+        for b in nodes:
+            assert a.converged_with(b)
+    assert all(len(n.lsdb) == 3 for n in nodes)
+
+
+def test_stale_lsas_not_reflooded():
+    net = triangle()
+    net.converge()
+    baseline = net.messages
+    # Re-delivering an old LSA must not trigger another flood storm.
+    lsa = net.nodes[1].lsdb[2]
+    net.nodes[1].receive(lsa.to_bytes(), from_neighbor=2)
+    net.deliver_all()
+    assert net.messages == baseline
+
+
+def test_spf_prefers_cheap_path():
+    """Router 1 reaches 10.3.0.0/16 via router 2 (cost 2) rather than the
+    direct cost-5 link."""
+    net = triangle()
+    net.converge()
+    node = net.nodes[1]
+    next_hop, out_port = node.routes[("10.3.0.0", 16)]
+    assert next_hop == 2
+    assert out_port == node.port_toward(2)
+
+
+def test_link_cost_change_reroutes():
+    net = triangle()
+    net.converge()
+    # The 1-2 link degrades to cost 10: now the direct 1-3 link wins.
+    net.nodes[1].neighbors[2] = 10
+    net.nodes[2].neighbors[1] = 10
+    net.nodes[1].originate()
+    net.nodes[2].originate()
+    net.deliver_all()
+    next_hop, __ = net.nodes[1].routes[("10.3.0.0", 16)]
+    assert next_hop == 3
+
+
+def test_partition_leaves_unreachable_networks_out():
+    net = LinkStateNetwork()
+    for rid in (1, 2):
+        node = net.add_node(rid)
+        node.attach_network(f"10.{rid}.0.0", 16, port=0)
+    # No links at all: each node knows only itself after origination.
+    net.converge()
+    assert ("10.2.0.0", 16) not in net.nodes[1].routes
+    assert ("10.1.0.0", 16) in net.nodes[1].routes  # its own
+
+
+def test_own_networks_use_local_port():
+    net = triangle()
+    net.converge()
+    node = net.nodes[2]
+    assert node.routes[("10.2.0.0", 16)] == (2, 0)
+
+
+def test_spf_and_lsa_cycles_charged():
+    charged = []
+    node = LinkStateNode(1, charge_cycles=charged.append)
+    node.attach_network("10.1.0.0", 16, 0)
+    node.originate()
+    lsa = LinkStateAd(2, 1, ((1, 1),), (("10.2.0.0", 16, 0),))
+    node.receive(lsa.to_bytes())
+    assert sum(charged) > 20_000  # SPF is compute-intensive
+    assert node.spf_runs == 2
+
+
+def test_link_validation():
+    node = LinkStateNode(1)
+    with pytest.raises(ValueError):
+        node.add_link(2, cost=0)
+    with pytest.raises(KeyError):
+        node.port_toward(9)
+
+
+def test_duplicate_router_id_rejected():
+    net = LinkStateNetwork()
+    net.add_node(1)
+    with pytest.raises(ValueError):
+        net.add_node(1)
+
+
+def test_program_router_installs_routes():
+    from repro import Router
+
+    net = triangle()
+    net.converge()
+    router = Router()
+    count = net.program_router(1, router)
+    assert count == 3
+    from repro.net import IPv4Address
+
+    # 10.3.0.0 reached via the port toward router 2.
+    route = router.routing_table.lookup(IPv4Address("10.3.0.1"))
+    assert route.out_port == net.nodes[1].port_toward(2)
+
+
+def test_route_updates_invalidate_route_cache():
+    """The paper's robustness experiment premise: OSPF updating the
+    routing table must flow through to the MicroEngines' route cache."""
+    from repro import Router
+    from repro.net import IPv4Address
+
+    net = triangle()
+    net.converge()
+    router = Router()
+    net.program_router(1, router)
+    addr = IPv4Address("10.3.0.1")
+    router.warm_route_cache([addr])
+    assert router.chip.route_cache.lookup(addr) is not None
+    # Topology change: reconverge and reprogram.
+    net.nodes[1].neighbors[2] = 10
+    net.nodes[1].originate()
+    net.deliver_all()
+    net.program_router(1, router)
+    # The table generation moved, so the cached entry is now stale.
+    assert router.chip.route_cache.lookup(addr) is None

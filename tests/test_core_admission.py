@@ -1,0 +1,147 @@
+"""Tests for admission control (section 4.6)."""
+
+import pytest
+
+from repro.core.admission import AdmissionControl, AdmissionError, PentiumCapacity, StrongARMCapacity
+from repro.core.classifier import FlowTable
+from repro.core.forwarder import ALL, ForwarderSpec, Where
+from repro.core.forwarders import minimal_ip, syn_monitor, table5_specs, tcp_splicer
+from repro.core.vrp import RegOps, SramRead, VRPBudget, VRPProgram
+from repro.ixp.istore import InstructionStore
+from repro.net.packet import FlowKey
+from repro.net.addresses import IPv4Address
+
+
+def flow_key(i=1):
+    return FlowKey(IPv4Address(f"1.1.1.{i}"), 1000 + i, IPv4Address("2.2.2.2"), 80)
+
+
+def make_spec(name, reg=50, sram_words=2, where=Where.ME, **kw):
+    return ForwarderSpec(
+        name=name,
+        where=where,
+        program=VRPProgram(name, [RegOps(reg), SramRead(sram_words)]),
+        **kw,
+    )
+
+
+def test_table5_forwarders_all_admitted_as_general():
+    admission = AdmissionControl()
+    table = FlowTable()
+    # The defaults: minimal IP plus small monitors all fit serially...
+    for spec in (minimal_ip(), syn_monitor()):
+        admission.check(ALL, spec, table)
+        table.add(ALL, spec)
+
+
+def test_general_forwarders_accumulate_serially():
+    """General forwarders run in series, so their combined cost is what
+    must fit -- eventually one is rejected."""
+    admission = AdmissionControl()
+    table = FlowTable()
+    installed = 0
+    with pytest.raises(AdmissionError):
+        for i in range(10):
+            spec = make_spec(f"g{i}", reg=60)
+            admission.check(ALL, spec, table)
+            table.add(ALL, spec)
+            installed += 1
+    # The classifier costs 56 cycles; three 61-cycle forwarders fit
+    # within 240, the fourth cannot.
+    assert installed == 3
+
+
+def test_per_flow_forwarders_count_in_parallel():
+    """Only one per-flow forwarder applies per packet, so many can be
+    installed as long as each fits with the generals."""
+    admission = AdmissionControl()
+    table = FlowTable()
+    for i in range(20):
+        spec = make_spec(f"pf{i}", reg=120)
+        admission.check(flow_key(i), spec, table)
+        table.add(flow_key(i), spec)
+    # Serially these would be 2400 cycles; in parallel they all fit.
+    assert len(table.per_flow_entries) == 20
+
+
+def test_general_check_includes_worst_per_flow():
+    admission = AdmissionControl()
+    table = FlowTable()
+    table.add(flow_key(1), make_spec("pf", reg=150))
+    # 150 (worst per-flow) + 56 (classifier) + this general must fit 240.
+    admission.check(ALL, make_spec("ok", reg=20), table)
+    with pytest.raises(AdmissionError):
+        admission.check(ALL, make_spec("too-big", reg=60), table)
+
+
+def test_istore_space_enforced():
+    admission = AdmissionControl()
+    table = FlowTable()
+    store = InstructionStore()
+    store.install_general("hog", 630)
+    spec = tcp_splicer()  # needs ~50 slots
+    with pytest.raises(AdmissionError) as err:
+        admission.check(flow_key(), spec, table, istores=[store])
+    assert "ISTORE" in str(err.value)
+
+
+def test_registers_enforced():
+    admission = AdmissionControl()
+    table = FlowTable()
+    spec = ForwarderSpec(
+        name="reg-hog", where=Where.ME,
+        program=VRPProgram("reg-hog", [RegOps(10)], registers_needed=9),
+    )
+    with pytest.raises(AdmissionError):
+        admission.check(ALL, spec, table)
+
+
+def test_strongarm_rejected_when_reserved_for_bridging():
+    admission = AdmissionControl(strongarm=StrongARMCapacity(local_forwarder_fraction=0.0))
+    spec = ForwarderSpec(name="sa-f", where=Where.SA, cycles=100)
+    with pytest.raises(AdmissionError) as err:
+        admission.check(flow_key(), spec, FlowTable())
+    assert "bridging" in str(err.value)
+
+
+def test_strongarm_capacity_check():
+    admission = AdmissionControl(strongarm=StrongARMCapacity(local_forwarder_fraction=0.1))
+    ok = ForwarderSpec(name="light", where=Where.SA, cycles=100, expected_pps=10e3)
+    admission.check(flow_key(1), ok, FlowTable())
+    hog = ForwarderSpec(name="hog", where=Where.SA, cycles=5000, expected_pps=100e3)
+    with pytest.raises(AdmissionError):
+        admission.check(flow_key(2), hog, FlowTable())
+
+
+def test_pentium_packet_rate_cap():
+    admission = AdmissionControl(pentium=PentiumCapacity(max_pps=534e3))
+    table = FlowTable()
+    ok = ForwarderSpec(name="a", where=Where.PE, cycles=100, expected_pps=400e3)
+    admission.check(flow_key(1), ok, table)
+    table.add(flow_key(1), ok)
+    over = ForwarderSpec(name="b", where=Where.PE, cycles=100, expected_pps=200e3)
+    with pytest.raises(AdmissionError) as err:
+        admission.check(flow_key(2), over, table)
+    assert "packet rate" in str(err.value)
+
+
+def test_pentium_cycle_rate_cap():
+    admission = AdmissionControl(pentium=PentiumCapacity(clock_hz=733e6, control_reserve=0.2))
+    table = FlowTable()
+    # 300 Kpps x 1510 cycles = 453 Mcycles/s < 586 M available: admitted.
+    ok = ForwarderSpec(name="suite", where=Where.PE, cycles=1510, expected_pps=300e3)
+    admission.check(flow_key(1), ok, table)
+    table.add(flow_key(1), ok)
+    # Another 150 Kpps x 1510 pushes past the cycle budget.
+    over = ForwarderSpec(name="more", where=Where.PE, cycles=1510, expected_pps=150e3)
+    with pytest.raises(AdmissionError) as err:
+        admission.check(flow_key(2), over, table)
+    assert "cycle rate" in str(err.value)
+
+
+def test_rejections_are_recorded():
+    admission = AdmissionControl()
+    with pytest.raises(AdmissionError):
+        admission.check(ALL, make_spec("huge", reg=500), FlowTable())
+    assert len(admission.rejections) == 1
+    assert "huge" in admission.rejections[0]

@@ -1,0 +1,223 @@
+"""Tests for the flow table, classifier and the four-operation control
+interface."""
+
+import pytest
+
+from repro.core.admission import AdmissionControl
+from repro.core.classifier import Classifier, FlowTable
+from repro.core.forwarder import ALL, ForwarderSpec, Where
+from repro.core.forwarders import minimal_ip, port_filter, syn_monitor, tcp_proxy, tcp_splicer
+from repro.core.interface import RouterInterface
+from repro.core.vrp import RegOps, VRPProgram
+from repro.ixp.istore import InstructionStore
+from repro.net.addresses import IPv4Address
+from repro.net.packet import FlowKey, make_tcp_packet
+
+
+def flow_key(i=1):
+    return FlowKey(IPv4Address(f"1.1.1.{i}"), 1000, IPv4Address("2.2.2.2"), 80)
+
+
+def make_interface(istores=0):
+    table = FlowTable()
+    classifier = Classifier(table)
+    stores = [InstructionStore() for __ in range(istores)]
+    return RouterInterface(table, classifier, AdmissionControl(), istores=stores), table, classifier
+
+
+# -- FlowTable -------------------------------------------------------------------
+
+
+def test_flow_table_per_flow_and_general():
+    table = FlowTable()
+    general = table.add(ALL, syn_monitor())
+    per_flow = table.add(flow_key(), tcp_splicer())
+    assert general.is_general and not per_flow.is_general
+    assert table.match_per_flow(flow_key()) is per_flow
+    assert table.match_per_flow(flow_key(9)) is None
+    assert len(table) == 2
+
+
+def test_flow_table_rejects_duplicate_key():
+    table = FlowTable()
+    table.add(flow_key(), tcp_splicer())
+    with pytest.raises(ValueError):
+        table.add(flow_key(), port_filter())
+
+
+def test_flow_table_remove():
+    table = FlowTable()
+    entry = table.add(flow_key(), tcp_splicer())
+    table.remove(entry.fid)
+    assert table.match_per_flow(flow_key()) is None
+    with pytest.raises(KeyError):
+        table.get(entry.fid)
+    with pytest.raises(KeyError):
+        table.remove(entry.fid)
+
+
+# -- Classifier ---------------------------------------------------------------------
+
+
+def test_classifier_validates_headers():
+    table = FlowTable()
+    classifier = Classifier(table)
+    packet = make_tcp_packet("1.1.1.1", "2.2.2.2")
+    packet.ip.packed()  # correct checksum
+    decision = classifier.classify_packet(packet)
+    assert not decision.get("drop")
+    bad = make_tcp_packet("1.1.1.1", "2.2.2.2")
+    bad.ip.packed()
+    bad.ip.checksum ^= 0xFFFF  # corrupt stored checksum
+    decision = classifier.classify_packet(bad)
+    assert decision["drop"] and decision["reason"] == "bad-checksum"
+    assert classifier.validation_failures == 1
+
+
+def test_classifier_matches_per_flow():
+    table = FlowTable()
+    classifier = Classifier(table)
+    entry = table.add(flow_key(), tcp_splicer())
+    packet = make_tcp_packet("1.1.1.1", "2.2.2.2", src_port=1000, dst_port=80)
+    packet.ip.packed()
+    decision = classifier.classify_packet(packet)
+    assert decision["entry"] is entry
+    assert entry.packets_matched == 1
+
+
+def test_classifier_sends_pe_flows_exceptional():
+    table = FlowTable()
+    classifier = Classifier(table)
+    table.add(flow_key(), tcp_proxy())
+    packet = make_tcp_packet("1.1.1.1", "2.2.2.2", src_port=1000, dst_port=80)
+    packet.ip.packed()
+    decision = classifier.classify_packet(packet)
+    assert decision["exceptional"]
+    assert decision["sa_target"] == "pentium"
+
+
+def test_timed_vrp_combines_general_and_per_flow():
+    table = FlowTable()
+    classifier = Classifier(table)
+    general = table.add(ALL, syn_monitor())
+    per_flow = table.add(flow_key(), tcp_splicer())
+    base = classifier.timed_vrp_for(None)
+    with_flow = classifier.timed_vrp_for(per_flow)
+    splicer_regs = tcp_splicer().program.register_op_count()
+    assert with_flow.reg_cycles - base.reg_cycles == splicer_regs
+    assert base.sram_writes == 1  # the SYN monitor's counter write
+
+
+def test_timed_vrp_cache_invalidation():
+    table = FlowTable()
+    classifier = Classifier(table)
+    before = classifier.timed_vrp_for(None)
+    table.add(ALL, syn_monitor())
+    classifier.invalidate()
+    after = classifier.timed_vrp_for(None)
+    assert after.reg_cycles > before.reg_cycles
+
+
+def test_combined_action_stops_at_drop():
+    table = FlowTable()
+    classifier = Classifier(table)
+    table.add(ALL, port_filter([(80, 80)]))
+    entry = table.get(table.general_entries[0].fid)
+    entry.state.update(entry.spec.initial_state)
+    table.add(ALL, syn_monitor())
+    timed = classifier.timed_vrp_for(None)
+    packet = make_tcp_packet("1.1.1.1", "2.2.2.2", dst_port=80)
+    timed.action(packet, None)
+    assert packet.meta["vrp_drop"]
+    assert packet.meta["dropped_by"] == "port-filter"
+
+
+# -- RouterInterface -----------------------------------------------------------------
+
+
+def test_install_returns_fid_and_records_entry():
+    interface, table, __ = make_interface()
+    fid = interface.install(ALL, syn_monitor())
+    assert table.get(fid).spec.name == "syn-monitor"
+    assert interface.installs == 1
+
+
+def test_install_loads_istores():
+    interface, __, __c = make_interface(istores=4)
+    interface.install(ALL, minimal_ip())
+    interface.install(flow_key(), tcp_splicer())
+    for store in interface.istores:
+        installed = store.installed()
+        assert any("minimal-ip" in name for name in installed)
+        assert any("tcp-splicer" in name for name in installed)
+    # general grows down, per-flow grows up
+    chains = interface.istores[0].general_chain()
+    assert any("minimal-ip" in name for name in chains)
+
+
+def test_remove_frees_istore_room():
+    interface, __, __c = make_interface(istores=2)
+    fid = interface.install(ALL, minimal_ip())
+    used = interface.istores[0].used_by_extensions
+    assert used > 0
+    interface.remove(fid)
+    assert interface.istores[0].used_by_extensions == 0
+    assert interface.removes == 1
+
+
+def test_getdata_setdata_share_state():
+    interface, table, __ = make_interface()
+    fid = interface.install(flow_key(), port_filter([(22, 22)]))
+    data = interface.getdata(fid)
+    assert data["ranges"] == [(22, 22)]
+    interface.setdata(fid, {"ranges": [(8000, 8080)]})
+    assert table.get(fid).state["ranges"] == [(8000, 8080)]
+    # getdata returns a copy, not the live dict.
+    interface.getdata(fid)["ranges"].append((1, 2))
+    assert table.get(fid).state["ranges"] == [(8000, 8080)]
+
+
+def test_install_zeroes_then_seeds_state():
+    interface, table, __ = make_interface()
+    spec = port_filter([(1, 10)])
+    spec.initial_state["extra"] = 7
+    fid = interface.install(flow_key(), spec)
+    assert interface.getdata(fid) == {"ranges": [(1, 10)], "extra": 7}
+
+
+def test_install_key_type_checked():
+    interface, __, __c = make_interface()
+    with pytest.raises(TypeError):
+        interface.install(("not", "a", "flow", "key"), syn_monitor())
+
+
+def test_install_where_mismatch_rejected():
+    interface, __, __c = make_interface()
+    with pytest.raises(ValueError):
+        interface.install(ALL, syn_monitor(), where=Where.PE)
+
+
+def test_install_invalidates_classifier_cache():
+    interface, __, classifier = make_interface()
+    base = classifier.timed_vrp_for(None)
+    interface.install(ALL, syn_monitor())
+    after = classifier.timed_vrp_for(None)
+    assert after.reg_cycles > base.reg_cycles
+
+
+def test_sram_state_exhaustion():
+    interface, __, __c = make_interface()
+    from repro.core.admission import AdmissionError
+
+    big = ForwarderSpec(
+        name="stateful", where=Where.ME,
+        program=VRPProgram("stateful", [RegOps(5)]),
+        state_bytes=0,
+    )
+    interface._next_sram = interface.__class__.__mro__[0].__dict__.get("x", 0) or 0
+    # Force the allocator to the limit and expect failure.
+    from repro.core.interface import SRAM_STATE_LIMIT
+
+    interface._next_sram = SRAM_STATE_LIMIT - 4
+    with pytest.raises(AdmissionError):
+        interface.install(flow_key(5), big, size=64)

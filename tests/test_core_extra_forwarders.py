@@ -1,0 +1,125 @@
+"""Tests for the additional section-4.4 service forwarders: packet
+tagging and token-bucket rate limiting."""
+
+import pytest
+
+from repro import ALL, Router
+from repro.core.forwarders import packet_tagger, rate_limiter
+from repro.core.vrp import PROTOTYPE_BUDGET
+from repro.net.addresses import IPv4Address
+from repro.net.packet import FlowKey, make_tcp_packet
+from repro.net.traffic import flow_stream, take
+
+
+def test_both_fit_the_vrp_budget():
+    for spec in (packet_tagger(tos=0xB8), rate_limiter(rate_pps=1000)):
+        ok, reason = PROTOTYPE_BUDGET.check(
+            spec.program.cost(), spec.program.registers_needed
+        )
+        assert ok, f"{spec.name}: {reason}"
+
+
+def test_tagger_stamps_tos():
+    spec = packet_tagger(tos=0xB8)  # DSCP EF
+    state = dict(spec.initial_state)
+    packet = make_tcp_packet("1.1.1.1", "2.2.2.2")
+    assert spec.program.action(packet, state)
+    assert packet.ip.tos == 0xB8
+    assert state["tagged"] == 1
+
+
+def test_tagger_inactive_without_state():
+    packet = make_tcp_packet("1.1.1.1", "2.2.2.2")
+    assert packet_tagger().program.action(packet, {})
+    assert packet.ip.tos == 0
+
+
+def test_tagger_validates_tos():
+    with pytest.raises(ValueError):
+        packet_tagger(tos=300)
+
+
+def test_rate_limiter_passes_within_rate():
+    spec = rate_limiter(rate_pps=1000, burst=4)
+    state = dict(spec.initial_state)
+    action = spec.program.action
+    # Packets spaced exactly at the rate (200k cycles at 200 MHz = 1 ms).
+    for i in range(10):
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2")
+        packet.meta["t_arrived"] = i * 200_000
+        assert action(packet, state), f"packet {i} wrongly limited"
+    assert state["passed"] == 10
+
+
+def test_rate_limiter_drops_burst_beyond_bucket():
+    spec = rate_limiter(rate_pps=1000, burst=3)
+    state = dict(spec.initial_state)
+    action = spec.program.action
+    results = []
+    for i in range(8):  # all at the same instant: only the burst passes
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2")
+        packet.meta["t_arrived"] = 1000
+        results.append(action(packet, state))
+    assert results[:3] == [True, True, True]
+    assert not any(results[3:])
+    assert state["limited"] == 5
+
+
+def test_rate_limiter_refills_over_time():
+    spec = rate_limiter(rate_pps=1000, burst=1)
+    state = dict(spec.initial_state)
+    action = spec.program.action
+    first = make_tcp_packet("1.1.1.1", "2.2.2.2")
+    first.meta["t_arrived"] = 0
+    assert action(first, state)
+    starved = make_tcp_packet("1.1.1.1", "2.2.2.2")
+    starved.meta["t_arrived"] = 1000  # far too soon
+    assert not action(starved, state)
+    later = make_tcp_packet("1.1.1.1", "2.2.2.2")
+    later.meta["t_arrived"] = 500_000  # 2.5 ms later: refilled
+    assert action(later, state)
+
+
+def test_rate_limiter_validation():
+    with pytest.raises(ValueError):
+        rate_limiter(rate_pps=-1)
+    with pytest.raises(ValueError):
+        rate_limiter(rate_pps=10, burst=0)
+
+
+def test_rate_limiter_in_router_enforces_flow_rate():
+    """End to end: a flow limited to ~2 Kpps through the router."""
+    router = Router()
+    for port in range(10):
+        router.add_route(f"10.{port}.0.0", 16, port)
+    key = FlowKey(IPv4Address("192.168.1.2"), 5001, IPv4Address("10.1.0.1"), 80)
+    fid = router.install(key, rate_limiter(rate_pps=2000, burst=2))
+    # 40 packets at ~74 Kpps offered (100 Mbps of min packets).
+    packets = take(flow_stream(40, out_port=1, payload_len=6), 40)
+    router.warm_route_cache([packets[0].ip.dst])
+    router.inject(0, iter(packets))
+    router.run(1_500_000)
+    data = router.getdata(fid)
+    delivered = len(router.transmitted(1))
+    assert delivered == data["passed"]
+    assert data["limited"] > 0
+    # ~2 Kpps over 40 x 1344-cycle arrivals (~0.27 ms) plus burst: only a
+    # handful pass.
+    assert delivered <= 5
+    assert router.stats()["vrp_dropped"] == data["limited"]
+
+
+def test_tagger_in_router_marks_flow():
+    router = Router()
+    for port in range(10):
+        router.add_route(f"10.{port}.0.0", 16, port)
+    key = FlowKey(IPv4Address("192.168.1.2"), 5001, IPv4Address("10.1.0.1"), 80)
+    fid = router.install(key, packet_tagger(tos=0x28))
+    packets = take(flow_stream(5, out_port=1, payload_len=6), 5)
+    other = take(flow_stream(3, src="10.9.9.9", src_port=42, out_port=2, payload_len=6), 3)
+    router.warm_route_cache([p.ip.dst for p in packets + other])
+    router.inject(0, iter(packets + other))
+    router.run(1_200_000)
+    assert all(p.ip.tos == 0x28 for p in router.transmitted(1))
+    assert all(p.ip.tos == 0 for p in router.transmitted(2))
+    assert router.getdata(fid)["tagged"] == 5

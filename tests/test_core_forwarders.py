@@ -1,0 +1,187 @@
+"""Tests for the Table 5 example forwarders: costs and functional
+behaviour."""
+
+import pytest
+
+from repro.core.forwarders import (
+    TABLE5_EXPECTED,
+    ack_monitor,
+    full_ip,
+    minimal_ip,
+    port_filter,
+    syn_monitor,
+    table5_specs,
+    tcp_proxy,
+    tcp_splicer,
+    wavelet_dropper,
+)
+from repro.core.forwarder import Where
+from repro.core.vrp import PROTOTYPE_BUDGET
+from repro.net.ip import record_route_option
+from repro.net.packet import make_tcp_packet, make_udp_like_packet
+from repro.net.tcp import TCP_ACK, TCP_SYN
+
+
+def test_table5_costs_match_paper_exactly():
+    """SRAM bytes and register-operation counts from Table 5."""
+    for spec in table5_specs():
+        sram_bytes, reg_ops = TABLE5_EXPECTED[spec.name]
+        cost = spec.program.cost()
+        assert cost.sram_bytes == sram_bytes, spec.name
+        assert spec.program.register_op_count() == reg_ops, spec.name
+
+
+def test_all_table5_forwarders_fit_the_budget():
+    for spec in table5_specs():
+        ok, reason = PROTOTYPE_BUDGET.check(
+            spec.program.cost(), spec.program.registers_needed
+        )
+        assert ok, f"{spec.name}: {reason}"
+
+
+def test_heavy_forwarders_do_not_fit():
+    """Full IP (660 cycles) and TCP proxy (800) exceed the 240-cycle VRP
+    budget and must run higher in the hierarchy."""
+    assert full_ip().cycles == 660
+    assert tcp_proxy().cycles == 800
+    assert full_ip().where is Where.SA
+    assert tcp_proxy().where is Where.PE
+    with pytest.raises(ValueError):
+        full_ip(Where.ME)
+
+
+# -- functional behaviour -------------------------------------------------------
+
+
+def test_syn_monitor_counts_only_syns():
+    state = {}
+    action = syn_monitor().program.action
+    action(make_tcp_packet("1.1.1.1", "2.2.2.2", flags=TCP_SYN), state)
+    action(make_tcp_packet("1.1.1.1", "2.2.2.2", flags=TCP_ACK), state)
+    action(make_tcp_packet("1.1.1.1", "2.2.2.2", flags=TCP_SYN | TCP_ACK), state)  # SYN-ACK: not counted
+    action(make_udp_like_packet("1.1.1.1", "2.2.2.2"), state)
+    assert state["syn_count"] == 1
+
+
+def test_ack_monitor_detects_duplicates():
+    state = {}
+    action = ack_monitor().program.action
+    for ack in (100, 100, 100, 200):
+        action(make_tcp_packet("1.1.1.1", "2.2.2.2", flags=TCP_ACK, ack=ack), state)
+    assert state["dup_acks"] == 2
+    assert state["last_ack"] == 200
+    assert state["acks_seen"] == 4
+
+
+def test_ack_monitor_ignores_data_bearing_acks():
+    state = {}
+    action = ack_monitor().program.action
+    for __ in range(3):
+        action(
+            make_tcp_packet("1.1.1.1", "2.2.2.2", flags=TCP_ACK, ack=5, payload=b"data"),
+            state,
+        )
+    assert state.get("dup_acks", 0) == 0
+
+
+def test_port_filter_drops_configured_ranges():
+    spec = port_filter([(6000, 6999), (22, 22)])
+    state = dict(spec.initial_state)
+    action = spec.program.action
+    assert action(make_tcp_packet("1.1.1.1", "2.2.2.2", dst_port=80), state)
+    assert not action(make_tcp_packet("1.1.1.1", "2.2.2.2", dst_port=6500), state)
+    assert not action(make_tcp_packet("1.1.1.1", "2.2.2.2", dst_port=22), state)
+    assert action(make_udp_like_packet("1.1.1.1", "2.2.2.2"), state)  # non-TCP passes
+    assert state["filtered"] == 2
+
+
+def test_port_filter_validation():
+    with pytest.raises(ValueError):
+        port_filter([(1, 2)] * 6)
+    with pytest.raises(ValueError):
+        port_filter([(100, 50)])
+
+
+def test_wavelet_dropper_honours_cutoff():
+    spec = wavelet_dropper()
+    action = spec.program.action
+    state = {"cutoff": 3}
+    low = make_tcp_packet("1.1.1.1", "2.2.2.2")
+    low.ip.tos = 2 << 4
+    high = make_tcp_packet("1.1.1.1", "2.2.2.2")
+    high.ip.tos = 9 << 4
+    assert action(low, state)
+    assert not action(high, state)
+    assert state["forwarded"] == 1 and state["dropped"] == 1
+
+
+def test_tcp_splicer_patches_headers():
+    spec = tcp_splicer()
+    action = spec.program.action
+    state = {"spliced": True, "seq_delta": 1000, "ack_delta": -500, "src_port": 7777}
+    packet = make_tcp_packet("1.1.1.1", "2.2.2.2", src_port=5001, seq=10, ack=2000)
+    assert action(packet, state)
+    assert packet.tcp.seq == 1010
+    assert packet.tcp.ack == 1500
+    assert packet.tcp.src_port == 7777
+    assert state["patched"] == 1
+
+
+def test_tcp_splicer_inactive_without_state():
+    action = tcp_splicer().program.action
+    packet = make_tcp_packet("1.1.1.1", "2.2.2.2", seq=10)
+    assert action(packet, {})
+    assert packet.tcp.seq == 10  # untouched
+
+
+def test_tcp_splicer_seq_wraps():
+    action = tcp_splicer().program.action
+    state = {"spliced": True, "seq_delta": 10}
+    packet = make_tcp_packet("1.1.1.1", "2.2.2.2", seq=0xFFFFFFFF)
+    action(packet, state)
+    assert packet.tcp.seq == 9
+
+
+def test_minimal_ip_decrements_ttl_and_rewrites_macs():
+    spec = minimal_ip()
+    state = {}
+    packet = make_tcp_packet("1.1.1.1", "2.2.2.2", ttl=5)
+    packet.meta["out_port"] = 3
+    assert spec.program.action(packet, state)
+    assert packet.ip.ttl == 4
+    from repro.net import MACAddress
+
+    assert packet.eth.src == MACAddress.for_port(3)
+    assert state["forwarded"] == 1
+
+
+def test_minimal_ip_drops_expiring_ttl():
+    spec = minimal_ip()
+    state = {}
+    packet = make_tcp_packet("1.1.1.1", "2.2.2.2", ttl=1)
+    assert spec.program.action(packet, state) is False
+    assert state["ttl_expired"] == 1
+
+
+def test_full_ip_processes_record_route():
+    spec = full_ip()
+    packet = make_udp_like_packet("1.1.1.1", "2.2.2.2", options=record_route_option())
+    packet.meta["out_port"] = 2
+    before_ptr = packet.ip.options[2]
+    assert spec.action(packet)
+    assert packet.ip.options[2] == before_ptr + 4  # one address recorded
+    assert packet.meta["full_ip"]
+
+
+def test_tcp_proxy_splices_after_handshake():
+    spec = tcp_proxy()
+    controller = spec.controller
+    flow = dict(src="1.1.1.1", dst="2.2.2.2", src_port=999, dst_port=80)
+    syn = make_tcp_packet(flags=TCP_SYN, **flow)
+    synack = make_tcp_packet(flags=TCP_SYN | TCP_ACK, **flow)
+    ack = make_tcp_packet(flags=TCP_ACK, **flow)
+    assert controller.on_packet(syn) is None
+    assert controller.on_packet(synack) is None
+    state = controller.on_packet(ack)
+    assert state is not None and state["spliced"]
+    assert tuple(ack.flow_key()) in controller.spliced

@@ -1,0 +1,115 @@
+"""Tests for the replacement MPLS classifier (section 4.5)."""
+
+import pytest
+
+from repro.core.mpls import LabelAction, LabelEntry, LabelTable, install_mpls_classifier
+from repro.core.router import Router
+from repro.net import mpls
+from repro.net.traffic import take, uniform_flood
+
+
+def booted():
+    router = Router()
+    for port in range(10):
+        router.add_route(f"10.{port}.0.0", 16, port)
+    return router
+
+
+def test_label_table_bind_and_lookup():
+    table = LabelTable()
+    table.bind(100, LabelEntry(LabelAction.SWAP, out_port=2, out_label=200))
+    entry = table.lookup(100)
+    assert entry.out_label == 200
+    assert table.lookup(999) is None
+    assert table.misses == 1
+    assert len(table) == 1
+
+
+def test_reserved_labels_rejected():
+    table = LabelTable()
+    with pytest.raises(ValueError):
+        table.bind(3, LabelEntry(LabelAction.POP, out_port=1))
+
+
+def test_swap_entry_needs_out_label():
+    with pytest.raises(ValueError):
+        LabelEntry(LabelAction.SWAP, out_port=1)
+
+
+def test_classifier_swap_switches_labeled_packets():
+    router = booted()
+    table = LabelTable()
+    table.bind(100, LabelEntry(LabelAction.SWAP, out_port=5, out_label=200))
+    classifier = install_mpls_classifier(router, table)
+
+    packets = take(uniform_flood(4, num_ports=1), 4)
+    for p in packets:
+        mpls.push(p, 100)
+    router.inject(0, iter(packets))
+    router.run(800_000)
+
+    out = router.transmitted(5)
+    assert len(out) == 4
+    assert all(mpls.top_label(p) == 200 for p in out)
+    assert classifier.switched == 4
+
+
+def test_classifier_pop_delivers_ip():
+    router = booted()
+    table = LabelTable()
+    table.bind(100, LabelEntry(LabelAction.POP, out_port=3))
+    install_mpls_classifier(router, table)
+    packets = take(uniform_flood(3, num_ports=1), 3)
+    for p in packets:
+        mpls.push(p, 100)
+    router.inject(0, iter(packets))
+    router.run(800_000)
+    out = router.transmitted(3)
+    assert len(out) == 3
+    assert all(mpls.top_label(p) is None for p in out)
+
+
+def test_unlabeled_falls_back_to_ip_with_ingress_push():
+    router = booted()
+    table = LabelTable()
+    table.bind_ingress(out_port=2, out_label=555)
+    classifier = install_mpls_classifier(router, table)
+
+    from repro.net.traffic import single_port_flood
+
+    packets = take(single_port_flood(2, out_port=2), 2) + take(
+        single_port_flood(2, out_port=0, seed=9), 2
+    )
+    router.warm_route_cache([p.ip.dst for p in packets])
+    router.inject(0, iter(packets))
+    router.run(800_000)
+    labeled = [p for p in router.transmitted(2)]
+    plain = [p for p in router.transmitted(0)]
+    assert all(mpls.top_label(p) == 555 for p in labeled)
+    assert all(mpls.top_label(p) is None for p in plain)
+    assert classifier.pushed == len(labeled) > 0
+
+
+def test_unknown_label_goes_exceptional_and_drops():
+    router = booted()
+    install_mpls_classifier(router, LabelTable())
+    packets = take(uniform_flood(3, num_ports=1), 3)
+    for p in packets:
+        mpls.push(p, 12345)
+    router.inject(0, iter(packets))
+    router.run(800_000)
+    assert router.stats()["exceptional"] == 3
+    assert router.strongarm.dropped_local == 3
+    assert len(router.transmitted()) == 0
+
+
+def test_classifier_swap_charges_full_istore_reload():
+    router = booted()
+    before = [s.write_cycles_total for s in router.chip.istores[:4]]
+    classifier = install_mpls_classifier(router, LabelTable())
+    # "re-loading the entire MicroEngine ISTORE ... takes over 80,000
+    # cycles" per engine, on all four input engines.
+    assert classifier.reload_cycles >= 4 * 80_000
+    for store, prior in zip(router.chip.istores[:4], before):
+        assert store.write_cycles_total - prior >= 80_000
+        assert store.reload_count == 1

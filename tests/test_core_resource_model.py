@@ -1,0 +1,96 @@
+"""Tests for the section 3.5.2 resource model."""
+
+import pytest
+
+from repro.core.resource_model import (
+    INPUT_CONTEXT_PPS,
+    MAX_INPUT_CONTEXTS,
+    Partition,
+    evaluation_board_partition,
+    plan,
+)
+from repro.net.mac import PortSpeed
+
+
+def test_eight_fast_ports_matches_paper_partition():
+    """The paper's own configuration: 8 x 100 Mbps wants a comfortable
+    input stage and leaves the 240-cycle VRP budget."""
+    partition = evaluation_board_partition()
+    assert partition.feasible
+    assert partition.line_rate_pps == pytest.approx(1.19e6, rel=0.01)
+    # Two contexts per port, as in the prototype.
+    for port in range(8):
+        assert len(partition.contexts_for_port(port)) == 2
+    assert partition.input_contexts == 16
+    assert partition.vrp_budget.cycles == pytest.approx(240, abs=30)
+
+
+def test_same_port_contexts_maximally_spaced():
+    """The paper: 'we assign ports to contexts in such a way that the two
+    contexts servicing the same port are as far apart as possible in the
+    token rotation'."""
+    partition = evaluation_board_partition()
+    # 16 contexts, 2 per port -> the best possible distance is 8.
+    assert partition.min_same_port_token_distance() == 8
+
+
+def test_single_gigabit_port_is_infeasible():
+    """1 Gbps of minimum-sized packets (1.49 Mpps) exceeds what the input
+    envelope can take through one port's contexts... but is under the
+    aggregate envelope, so it plans with a warning-free partition."""
+    partition = plan([PortSpeed.GBPS_1])
+    assert partition.line_rate_pps == pytest.approx(1.49e6, rel=0.01)
+    assert partition.input_contexts >= 7
+
+
+def test_mixed_board_exceeds_envelope():
+    """The full evaluation board (8x100M + 2x1G = 4.1 Mpps of minimum
+    packets) is beyond the 16-context input envelope; the model says so."""
+    partition = plan([PortSpeed.MBPS_100] * 8 + [PortSpeed.GBPS_1] * 2)
+    assert not partition.feasible
+    assert any("envelope" in p for p in partition.problems)
+
+
+def test_heterogeneous_weighting():
+    """A gigabit port among fast-Ethernet ports receives proportionally
+    more contexts."""
+    partition = plan([PortSpeed.GBPS_1, PortSpeed.MBPS_100, PortSpeed.MBPS_100])
+    gig = len(partition.contexts_for_port(0))
+    fast = len(partition.contexts_for_port(1))
+    assert gig > 3 * fast
+    assert fast >= 1
+
+
+def test_headroom_scales_provisioning():
+    base = plan([PortSpeed.MBPS_100] * 4)
+    padded = plan([PortSpeed.MBPS_100] * 4, headroom=2.0)
+    assert padded.line_rate_pps == pytest.approx(2 * base.line_rate_pps)
+    assert padded.vrp_budget.cycles < base.vrp_budget.cycles
+
+
+def test_more_ports_than_contexts_degrades_gracefully():
+    partition = plan([PortSpeed.MBPS_100] * 20)
+    assert not partition.feasible
+    assert any("share contexts" in p for p in partition.problems)
+
+
+def test_vrp_budget_shrinks_with_line_rate():
+    slow = plan([PortSpeed.MBPS_100] * 2)
+    fast = plan([PortSpeed.MBPS_100] * 8)
+    assert slow.vrp_budget.cycles > fast.vrp_budget.cycles
+
+
+def test_empty_configuration_rejected():
+    with pytest.raises(ValueError):
+        plan([])
+
+
+def test_summary_is_readable():
+    text = evaluation_board_partition().summary()
+    assert "line rate" in text and "VRP budget" in text
+
+
+def test_fifo_slots_match_contexts():
+    partition = evaluation_board_partition()
+    assert len(set(partition.fifo_slot_of_context.values())) == partition.input_contexts
+    assert all(0 <= s < MAX_INPUT_CONTEXTS for s in partition.fifo_slot_of_context.values())

@@ -1,0 +1,79 @@
+"""Tests for the intrusion-detection service pair (section 4.4)."""
+
+import pytest
+
+from repro import ALL, Router
+from repro.core.forwarders.scan_detector import PORT_BUCKETS, ScanResponder, make_spec
+from repro.core.vrp import PROTOTYPE_BUDGET
+from repro.net.packet import make_tcp_packet
+from repro.net.traffic import flow_stream, take
+
+
+def test_detector_fits_vrp_budget():
+    spec = make_spec()
+    ok, reason = PROTOTYPE_BUDGET.check(spec.program.cost(), spec.program.registers_needed)
+    assert ok, reason
+    assert spec.program.cost().hashes <= 3  # within the hash budget too
+
+
+def test_detector_builds_bitmap():
+    spec = make_spec()
+    state = dict(spec.initial_state)
+    action = spec.program.action
+    for port in (22, 23, 80, 443, 8080):
+        action(make_tcp_packet("6.6.6.6", "10.1.0.1", dst_port=port), state)
+    assert state["probes"] == 5
+    assert bin(state["bitmap"]).count("1") >= 4  # distinct buckets touched
+
+
+def test_detector_tracks_only_configured_source():
+    spec = make_spec(track_src="6.6.6.6")
+    state = dict(spec.initial_state)
+    action = spec.program.action
+    action(make_tcp_packet("6.6.6.6", "10.1.0.1", dst_port=22), state)
+    action(make_tcp_packet("7.7.7.7", "10.1.0.1", dst_port=23), state)
+    assert state["probes"] == 1
+
+
+def test_single_service_flow_does_not_alert():
+    """A busy but legitimate flow touches one bucket: no alert."""
+    router = Router()
+    for port in range(10):
+        router.add_route(f"10.{port}.0.0", 16, port)
+    fid = router.install(ALL, make_spec())
+    responder = ScanResponder(router, fid)
+    packets = take(flow_stream(30, out_port=1, dst_port=80, payload_len=6), 30)
+    router.warm_route_cache([packets[0].ip.dst])
+    router.inject(0, iter(packets))
+    router.run(900_000)
+    assert not responder.poll()
+    assert responder.filter_fid is None
+
+
+def test_scan_detected_and_filter_installed():
+    """A port sweep trips the detector; the responder installs the
+    filter; a second sweep is dropped in the data plane."""
+    router = Router()
+    for port in range(10):
+        router.add_route(f"10.{port}.0.0", 16, port)
+    fid = router.install(ALL, make_spec())
+    responder = ScanResponder(router, fid)
+
+    def sweep(start):
+        for i in range(PORT_BUCKETS):
+            yield make_tcp_packet("6.6.6.6", "10.1.0.1", dst_port=start + i,
+                                  src_port=40000 + i)
+
+    first = list(sweep(1))
+    router.warm_route_cache([first[0].ip.dst])
+    router.inject(0, iter(first))
+    router.run(900_000)
+    assert responder.poll()
+    assert responder.filter_fid is not None
+    delivered_before = len(router.transmitted(1))
+
+    router.inject(1, sweep(100))
+    router.run(900_000)
+    # The second sweep died in the data plane.
+    assert len(router.transmitted(1)) == delivered_before
+    assert router.getdata(responder.filter_fid)["filtered"] == PORT_BUCKETS

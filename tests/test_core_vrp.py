@@ -1,0 +1,150 @@
+"""Tests for the VRP micro-op IR, cost model and budget."""
+
+import pytest
+
+from repro.core.vrp import (
+    PROTOTYPE_BUDGET,
+    HashOp,
+    JumpForward,
+    RegOps,
+    SramRead,
+    SramWrite,
+    VRPBudget,
+    VRPProgram,
+    VRPVerificationError,
+    budget_for_line_rate,
+)
+
+
+def test_prototype_budget_matches_section_4_3():
+    budget = PROTOTYPE_BUDGET
+    assert budget.cycles == 240
+    assert budget.sram_transfers == 24
+    assert budget.hashes == 3
+    assert budget.state_bytes == 96
+    assert budget.registers == 8
+    assert budget.istore_slots == 650
+
+
+def test_program_cost_accounting():
+    program = VRPProgram("p", [RegOps(10), SramRead(2), SramWrite(1), HashOp(1)])
+    cost = program.cost()
+    assert cost.sram_read_bytes == 8
+    assert cost.sram_write_bytes == 4
+    assert cost.sram_bytes == 12
+    assert cost.sram_transfers == 3
+    assert cost.hashes == 1
+    # 10 reg + 2 mem issues + 1 hash = 13 cycles.
+    assert cost.cycles == 13
+    assert program.register_op_count() == 10
+    assert program.instruction_count() == 13
+
+
+def test_jump_costs_branch_delay():
+    program = VRPProgram("p", [JumpForward(2), RegOps(5)])
+    assert program.cost().cycles == 2 + 5
+
+
+def test_backward_jump_rejected():
+    with pytest.raises(VRPVerificationError):
+        JumpForward(0)
+    with pytest.raises(VRPVerificationError):
+        JumpForward(-3)
+
+
+def test_jump_past_end_rejected():
+    with pytest.raises(VRPVerificationError):
+        VRPProgram("p", [RegOps(2), JumpForward(50)])
+
+
+def test_empty_program_rejected():
+    with pytest.raises(VRPVerificationError):
+        VRPProgram("p", [])
+
+
+def test_bad_op_rejected():
+    with pytest.raises(VRPVerificationError):
+        VRPProgram("p", ["not-an-op"])
+    with pytest.raises(VRPVerificationError):
+        RegOps(0)
+    with pytest.raises(VRPVerificationError):
+        SramRead(0)
+    with pytest.raises(VRPVerificationError):
+        HashOp(-1)
+
+
+def test_budget_check_pass_and_fail():
+    budget = VRPBudget()
+    small = VRPProgram("small", [RegOps(100), SramRead(4)]).cost()
+    ok, __ = budget.check(small)
+    assert ok
+    heavy_cycles = VRPProgram("heavy", [RegOps(241)]).cost()
+    ok, reason = budget.check(heavy_cycles)
+    assert not ok and "cycles" in reason
+    heavy_sram = VRPProgram("sram", [RegOps(1), SramRead(25)]).cost()
+    ok, reason = budget.check(heavy_sram)
+    assert not ok and "SRAM" in reason
+    hashes = VRPProgram("hash", [RegOps(1), HashOp(4)]).cost()
+    ok, reason = budget.check(hashes)
+    assert not ok and "hash" in reason
+    ok, reason = budget.check(small, registers_needed=9)
+    assert not ok and "register" in reason
+
+
+def test_budget_for_prototype_line_rate():
+    """At 1.128 Mpps (8 x 100 Mbps) the derived budget reproduces the
+    paper's section 4.3 numbers."""
+    budget = budget_for_line_rate(1.128e6)
+    assert budget.cycles == pytest.approx(240, abs=15)
+    assert budget.sram_transfers == pytest.approx(24, abs=3)
+    assert budget.state_bytes == 4 * budget.sram_transfers
+
+
+def test_budget_scales_inversely_with_rate():
+    slow = budget_for_line_rate(0.5e6)
+    fast = budget_for_line_rate(2.0e6)
+    assert slow.cycles > budget_for_line_rate(1.128e6).cycles > fast.cycles
+    with pytest.raises(ValueError):
+        budget_for_line_rate(0)
+
+
+def test_budget_zero_at_full_line_rate():
+    """At the 3.47 Mpps maximum there is no room for extensions."""
+    assert budget_for_line_rate(3.47e6).cycles <= 160  # little or no headroom
+    assert budget_for_line_rate(4.0e6).cycles <= budget_for_line_rate(3.47e6).cycles
+
+
+def test_to_timed_compilation():
+    program = VRPProgram("p", [RegOps(20), SramRead(3), SramWrite(1), HashOp(2)])
+    timed = program.to_timed()
+    assert timed.sram_reads == 3
+    assert timed.sram_writes == 1
+    assert timed.hashes == 2
+    assert timed.reg_cycles == 20 + 2  # hash cycles counted as busy
+
+
+def test_to_timed_action_adapter():
+    seen = {}
+
+    def action(packet, state):
+        state["hit"] = state.get("hit", 0) + 1
+        seen["packet"] = packet
+
+    program = VRPProgram("p", [RegOps(1)], action=action)
+    timed = program.to_timed()
+
+    class FakePacket:
+        meta = {}
+
+    packet = FakePacket()
+    timed.action(packet, None)
+    assert seen["packet"] is packet
+    assert packet.meta["flow_state"]["hit"] == 1
+
+
+def test_concat_serial_composition():
+    a = VRPProgram("a", [RegOps(10)])
+    b = VRPProgram("b", [RegOps(20), SramRead(1)])
+    combined = VRPProgram.concat("a+b", [a, b])
+    assert combined.register_op_count() == 30
+    assert combined.cost().sram_transfers == 1

@@ -1,0 +1,189 @@
+"""Edge-case coverage across modules: configuration variants, boundary
+conditions, and less-traveled code paths."""
+
+import pytest
+
+from repro import Router, RouterConfig
+from repro.ixp import ChipConfig, IXP1200, InputDiscipline, OutputDiscipline
+from repro.net.traffic import flow_stream, take, uniform_flood
+
+
+# -- chip configuration variants --------------------------------------------------
+
+
+def test_full_system_with_private_queues():
+    """The I.1 + O.3 combination the paper calls "reasonable"."""
+    chip = IXP1200(ChipConfig(
+        input_discipline=InputDiscipline.PRIVATE,
+        output_discipline=OutputDiscipline.MULTI_INDIRECT,
+    ))
+    m = chip.measure(window=60_000, warmup=10_000)
+    assert m.output_pps > 2e6
+
+
+def test_full_system_unbatched_output():
+    chip = IXP1200(ChipConfig(output_discipline=OutputDiscipline.SINGLE_UNBATCHED))
+    m = chip.measure(window=60_000, warmup=10_000)
+    assert m.output_pps > 2e6
+
+
+def test_multiqueue_router_with_priorities():
+    router = Router(RouterConfig(
+        output_discipline=OutputDiscipline.MULTI_INDIRECT, queues_per_port=4,
+    ))
+    for port in range(10):
+        router.add_route(f"10.{port}.0.0", 16, port)
+    packets = take(flow_stream(6, out_port=1, payload_len=6), 6)
+    router.warm_route_cache([p.ip.dst for p in packets])
+    for i, p in enumerate(packets):
+        p.meta["queue_priority"] = i % 4
+    router.inject(0, iter(packets))
+    router.run(900_000)
+    assert len(router.transmitted(1)) == 6
+    used = [q for q in router.chip.bank.queues_for_port(1) if q.enqueued]
+    assert len(used) >= 3  # several priority levels actually used
+
+
+def test_router_without_pentium():
+    router = Router(RouterConfig(with_pentium=False))
+    router.add_route("10.1.0.0", 16, 1)
+    packets = take(flow_stream(4, out_port=1, payload_len=6), 4)
+    router.warm_route_cache([p.ip.dst for p in packets])
+    router.inject(0, iter(packets))
+    router.run(800_000)
+    assert len(router.transmitted(1)) == 4
+    assert router.pentium is None
+
+
+def test_single_port_chip():
+    chip = IXP1200(ChipConfig(num_ports=1, synthetic_pattern="uniform"))
+    m = chip.measure(window=60_000, warmup=10_000)
+    assert m.output_pps > 0.5e6
+
+
+def test_minimal_context_configuration():
+    chip = IXP1200(ChipConfig(input_contexts=1, output_contexts=1))
+    m = chip.measure(window=60_000, warmup=10_000)
+    assert 0 < m.output_pps < 1.5e6  # one context per stage is slow
+
+
+# -- packet/header boundaries -----------------------------------------------------------
+
+
+def test_max_size_frame_through_router():
+    from repro.net.packet import make_tcp_packet
+
+    router = Router()
+    router.add_route("10.1.0.0", 16, 1)
+    big = make_tcp_packet("9.9.9.9", "10.1.0.1", payload=b"x" * 1460)  # 1518 frame
+    assert big.frame_len == 1518
+    router.warm_route_cache([big.ip.dst])
+    router.inject(0, iter([big]))
+    router.run(900_000)
+    out = router.transmitted(1)
+    assert len(out) == 1
+    assert out[0].payload == b"x" * 1460
+
+
+def test_multi_mp_packet_counts():
+    """A 1518-byte frame is 24 MPs; the chip counters must agree."""
+    from repro.net.packet import make_tcp_packet
+
+    router = Router()
+    router.add_route("10.1.0.0", 16, 1)
+    big = make_tcp_packet("9.9.9.9", "10.1.0.1", payload=b"x" * 1460)
+    router.warm_route_cache([big.ip.dst])
+    router.inject(0, iter([big]))
+    router.run(900_000)
+    assert router.stats()["input_packets"] == 1
+    assert router.stats()["input_mps"] == 24
+    assert router.stats()["output_mps"] == 24
+
+
+def test_zero_payload_tcp():
+    from repro.net.packet import make_tcp_packet
+    from repro.net.packet import Packet
+
+    packet = make_tcp_packet("1.1.1.1", "2.2.2.2", payload=b"")
+    parsed = Packet.from_bytes(packet.to_bytes())
+    assert parsed.payload == b""
+    assert parsed.tcp is not None
+
+
+def test_broadcast_ttl_one_hop():
+    """TTL=2 survives exactly one hop, TTL=1 does not."""
+    from repro.net.packet import make_tcp_packet
+
+    router = Router()
+    router.add_route("10.1.0.0", 16, 1)
+    ok = make_tcp_packet("1.1.1.1", "10.1.0.1", ttl=2)
+    dead = make_tcp_packet("1.1.1.2", "10.1.0.1", ttl=1)
+    router.warm_route_cache([ok.ip.dst])
+    router.inject(0, iter([ok, dead]))
+    router.run(800_000)
+    out = router.transmitted(1)
+    assert len(out) == 1
+    assert out[0].ip.ttl == 1
+
+
+# -- scheduler / host edges ----------------------------------------------------------------
+
+
+def test_pentium_scheduler_charges_flows():
+    router = Router()
+    router.add_route("10.1.0.0", 16, 1)
+    from repro.core.forwarders import tcp_proxy
+    from repro.net.packet import FlowKey
+    from repro.net.addresses import IPv4Address
+
+    proxy = tcp_proxy()
+    proxy.expected_pps = 100
+    key = FlowKey(IPv4Address("1.2.3.4"), 10, IPv4Address("10.1.0.1"), 80)
+    router.install(key, proxy)
+    packets = take(
+        flow_stream(5, src="1.2.3.4", src_port=10, dst="10.1.0.1", dst_port=80, payload_len=6), 5
+    )
+    router.warm_route_cache([packets[0].ip.dst])
+    router.inject(0, iter(packets))
+    router.run(1_500_000)
+    stats = router.scheduler.stats()
+    assert stats["tcp-proxy"]["work_done"] > 0
+
+
+def test_requeue_from_sa_drops_when_queue_full():
+    from repro.ixp.buffers import BufferHandle
+    from repro.ixp.queues import PacketDescriptor
+
+    chip = IXP1200(ChipConfig(input_contexts=0, output_contexts=0, queue_capacity=1))
+    queue = chip.bank.input_queue_for(0)
+    chip.bank.enqueue(queue, PacketDescriptor(BufferHandle(0, 0), None, 1, 0, 0))
+    before = chip.counters["queue_drops"]
+    ok = chip.requeue_from_sa(PacketDescriptor(BufferHandle(0, 0), None, 1, 0, 0))
+    assert not ok
+    assert chip.counters["queue_drops"] == before + 1
+
+
+def test_interface_remove_reinstall_cycle():
+    """Install/remove/reinstall keeps the ISTORE and flow table sane."""
+    from repro import ALL
+    from repro.core.forwarders import syn_monitor
+
+    router = Router()
+    for __ in range(5):
+        fid = router.install(ALL, syn_monitor())
+        router.remove(fid)
+    fid = router.install(ALL, syn_monitor())
+    assert router.getdata(fid) == {}
+    store = router.chip.istores[0]
+    # Only minimal-ip + one syn-monitor remain installed.
+    assert len(store.installed()) == 2
+
+
+def test_route_cache_generation_counter_wraps_many_updates():
+    router = Router()
+    for i in range(50):
+        router.add_route(f"10.{i % 10}.0.0", 16, i % 10)
+    from repro.net import IPv4Address
+
+    router.warm_route_cache(["10.1.0.1"])
+    assert router.chip.route_cache.lookup(IPv4Address("10.1.0.1")) is not None

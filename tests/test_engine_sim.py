@@ -1,0 +1,288 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.engine import Delay, Interrupt, Resource, SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0
+
+
+def test_schedule_runs_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(10, lambda: order.append("b"))
+    sim.schedule(5, lambda: order.append("a"))
+    sim.schedule(20, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 20
+
+
+def test_same_time_events_run_fifo():
+    sim = Simulator()
+    order = []
+    for tag in range(5):
+        sim.schedule(7, lambda tag=tag: order.append(tag))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_run_until_stops_early():
+    sim = Simulator()
+    fired = []
+    sim.schedule(100, lambda: fired.append(1))
+    sim.run(until=50)
+    assert fired == []
+    assert sim.now == 50
+    sim.run()
+    assert fired == [1]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_process_delay_sequence():
+    sim = Simulator()
+    trace = []
+
+    def worker():
+        trace.append(("start", sim.now))
+        yield Delay(10)
+        trace.append(("mid", sim.now))
+        yield Delay(5)
+        trace.append(("end", sim.now))
+
+    sim.spawn(worker())
+    sim.run()
+    assert trace == [("start", 0), ("mid", 10), ("end", 15)]
+
+
+def test_process_result_and_join():
+    sim = Simulator()
+    seen = []
+
+    def child():
+        yield Delay(3)
+        return 42
+
+    def parent():
+        proc = sim.spawn(child())
+        value = yield proc
+        seen.append((sim.now, value))
+
+    sim.spawn(parent())
+    sim.run()
+    assert seen == [(3, 42)]
+
+
+def test_join_on_finished_process_resumes_immediately():
+    sim = Simulator()
+    seen = []
+
+    def child():
+        yield Delay(1)
+        return "done"
+
+    def parent(proc):
+        yield Delay(10)
+        value = yield proc
+        seen.append((sim.now, value))
+
+    proc = sim.spawn(child())
+    sim.spawn(parent(proc))
+    sim.run()
+    assert seen == [(10, "done")]
+
+
+def test_event_wakes_all_waiters_with_value():
+    sim = Simulator()
+    event = sim.event("go")
+    woken = []
+
+    def waiter(i):
+        value = yield event
+        woken.append((i, sim.now, value))
+
+    for i in range(3):
+        sim.spawn(waiter(i))
+    sim.schedule(9, lambda: event.succeed("v"))
+    sim.run()
+    assert sorted(woken) == [(0, 9, "v"), (1, 9, "v"), (2, 9, "v")]
+
+
+def test_event_succeed_twice_is_error():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed()
+    with pytest.raises(SimulationError):
+        event.succeed()
+
+
+def test_wait_on_triggered_event_is_immediate():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(7)
+    got = []
+
+    def waiter():
+        value = yield event
+        got.append((sim.now, value))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert got == [(0, 7)]
+
+
+def test_signal_only_wakes_current_waiters():
+    sim = Simulator()
+    signal = sim.signal()
+    log = []
+
+    def waiter(i, delay):
+        yield Delay(delay)
+        yield signal
+        log.append((i, sim.now))
+
+    sim.spawn(waiter(0, 0))
+    sim.spawn(waiter(1, 20))  # arrives after the first fire
+    sim.schedule(10, signal.fire)
+    sim.schedule(30, signal.fire)
+    sim.run()
+    assert log == [(0, 10), (1, 30)]
+    assert signal.fire_count == 2
+
+
+def test_resource_mutual_exclusion_and_fifo():
+    sim = Simulator()
+    resource = sim.resource(capacity=1, name="bus")
+    log = []
+
+    def user(i):
+        yield resource.acquire()
+        log.append(("in", i, sim.now))
+        yield Delay(10)
+        log.append(("out", i, sim.now))
+        resource.release()
+
+    for i in range(3):
+        sim.spawn(user(i))
+    sim.run()
+    assert log == [
+        ("in", 0, 0), ("out", 0, 10),
+        ("in", 1, 10), ("out", 1, 20),
+        ("in", 2, 20), ("out", 2, 30),
+    ]
+    assert resource.total_waits == 2
+
+
+def test_resource_capacity_two_allows_parallelism():
+    sim = Simulator()
+    resource = sim.resource(capacity=2)
+    done_at = []
+
+    def user():
+        yield resource.acquire()
+        yield Delay(10)
+        resource.release()
+        done_at.append(sim.now)
+
+    for __ in range(4):
+        sim.spawn(user())
+    sim.run()
+    assert done_at == [10, 10, 20, 20]
+
+
+def test_release_without_acquire_is_error():
+    sim = Simulator()
+    resource = sim.resource()
+    with pytest.raises(SimulationError):
+        resource.release()
+
+
+def test_bad_yield_raises():
+    sim = Simulator()
+
+    def broken():
+        yield 123
+
+    sim.spawn(broken())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_interrupt_breaks_wait():
+    sim = Simulator()
+    event = sim.event()
+    log = []
+
+    def waiter():
+        try:
+            yield event
+        except Interrupt as intr:
+            log.append(("interrupted", sim.now, intr.cause))
+        yield Delay(5)
+        log.append(("after", sim.now))
+
+    proc = sim.spawn(waiter())
+    sim.schedule(8, lambda: proc.interrupt("timeout"))
+    sim.run()
+    assert log == [("interrupted", 8, "timeout"), ("after", 13)]
+    # The event later firing must not resurrect the canceled wait.
+    event.succeed()
+    sim.run()
+    assert log == [("interrupted", 8, "timeout"), ("after", 13)]
+
+
+def test_interrupted_resource_waiter_leaves_queue():
+    sim = Simulator()
+    resource = sim.resource()
+    log = []
+
+    def holder():
+        yield resource.acquire()
+        yield Delay(100)
+        resource.release()
+
+    def impatient():
+        try:
+            yield resource.acquire()
+            log.append("acquired")
+            resource.release()
+        except Interrupt:
+            log.append("gave-up")
+
+    sim.spawn(holder())
+    proc = sim.spawn(impatient())
+    sim.schedule(10, proc.interrupt)
+    sim.run()
+    assert log == ["gave-up"]
+    assert resource.available == 1
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5, lambda: (fired.append(1), sim.stop()))
+    sim.schedule(10, lambda: fired.append(2))
+    sim.run()
+    assert fired == [1]
+    sim.run()
+    assert fired == [1, 2]
+
+
+def test_spawn_all_names_processes():
+    sim = Simulator()
+
+    def noop():
+        yield Delay(0)
+
+    procs = sim.spawn_all([noop() for __ in range(3)], prefix="ctx")
+    assert [p.name for p in procs] == ["ctx0", "ctx1", "ctx2"]
+    sim.run()
+    assert all(not p.alive for p in procs)

@@ -1,0 +1,106 @@
+"""Unit tests for the statistics primitives."""
+
+import pytest
+
+from repro.engine import Counter, Histogram, RateMeter, StatSet, TimeWeighted
+
+
+def test_counter_add_and_reset():
+    counter = Counter("pkts")
+    counter.add()
+    counter.add(4)
+    assert counter.value == 5
+    counter.reset()
+    assert counter.value == 0
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        Counter().add(-1)
+
+
+def test_rate_meter_per_second():
+    meter = RateMeter("fwd")
+    for cycle in range(1, 201):
+        meter.record(cycle)
+    # 200 events over 200 cycles at 200 MHz -> 200 Mpps.
+    assert meter.per_cycle() == pytest.approx(1.0)
+    assert meter.per_second(200e6) == pytest.approx(200e6)
+
+
+def test_rate_meter_restart_window():
+    meter = RateMeter()
+    meter.record(100)
+    meter.restart(100)
+    meter.record(150, amount=10)
+    assert meter.count == 10
+    assert meter.elapsed() == 50
+    assert meter.per_cycle() == pytest.approx(0.2)
+
+
+def test_rate_meter_explicit_now():
+    meter = RateMeter()
+    meter.record(10)
+    assert meter.per_cycle(now=100) == pytest.approx(0.01)
+
+
+def test_rate_meter_empty_window_is_zero():
+    assert RateMeter().per_cycle() == 0.0
+
+
+def test_time_weighted_mean():
+    tw = TimeWeighted("depth")
+    tw.update(10, 4)   # 0 for cycles 0-10
+    tw.update(30, 0)   # 4 for cycles 10-30
+    assert tw.mean(now=40) == pytest.approx((0 * 10 + 4 * 20 + 0 * 10) / 40)
+    assert tw.maximum == 4
+    assert tw.current == 0
+
+
+def test_time_weighted_zero_span():
+    tw = TimeWeighted(initial=3.0)
+    assert tw.mean(now=0) == 3.0
+
+
+def test_histogram_moments_and_buckets():
+    histogram = Histogram("lat", bounds=[10, 100])
+    for value in [5, 50, 500, 50]:
+        histogram.record(value)
+    assert histogram.count == 4
+    assert histogram.mean == pytest.approx(151.25)
+    assert histogram.min == 5
+    assert histogram.max == 500
+    assert histogram.buckets == [1, 2, 1]
+    labels = [label for label, __ in histogram.bucket_items()]
+    assert labels == ["(-inf, 10]", "(10, 100]", "(100, +inf)"]
+
+
+def test_histogram_stddev():
+    histogram = Histogram()
+    for value in [2, 4, 4, 4, 5, 5, 7, 9]:
+        histogram.record(value)
+    assert histogram.stddev == pytest.approx(2.0)
+
+
+def test_histogram_empty():
+    histogram = Histogram()
+    assert histogram.mean == 0.0
+    assert histogram.stddev == 0.0
+
+
+def test_statset_is_memoized_registry():
+    stats = StatSet("me0")
+    assert stats.counter("drops") is stats.counter("drops")
+    assert stats.rate("fwd") is stats.rate("fwd")
+    assert stats.histogram("lat") is stats.histogram("lat")
+    assert stats.time_weighted("qdepth") is stats.time_weighted("qdepth")
+
+
+def test_statset_snapshot():
+    stats = StatSet()
+    stats.counter("drops").add(3)
+    stats.histogram("lat").record(10)
+    snap = stats.snapshot()
+    assert snap["drops"] == 3
+    assert snap["lat.mean"] == 10
+    assert snap["lat.count"] == 1

@@ -1,0 +1,129 @@
+"""Integration tests for the StrongARM and Pentium switching paths
+(sections 3.6, 3.7 / Table 4) and the pure-PC baseline."""
+
+import pytest
+
+from repro.hosts.baseline import PurePCRouter
+from repro.hosts.harness import measure_pentium_path, measure_strongarm_path
+from repro.hosts.strongarm import LocalForwarder, SAParams, StrongARM
+from repro.ixp.chip import ChipConfig, IXP1200
+from repro.net.traffic import take, uniform_flood
+
+
+def test_strongarm_polling_rate_near_526kpps():
+    rate = measure_strongarm_path("polling", window=250_000)
+    assert rate == pytest.approx(526e3, rel=0.10)
+
+
+def test_strongarm_interrupts_significantly_slower():
+    polling = measure_strongarm_path("polling", window=200_000)
+    interrupts = measure_strongarm_path("interrupt", window=200_000)
+    assert interrupts < 0.7 * polling
+
+
+def test_strongarm_costed_forwarder_lowers_rate():
+    null = measure_strongarm_path(forwarder_cycles=0, window=150_000)
+    # Full IP costs 660 cycles on this level (Table 5 discussion).
+    heavy = measure_strongarm_path(forwarder_cycles=660, window=150_000)
+    assert heavy < 0.5 * null
+
+
+def test_pentium_path_64b_matches_table4():
+    m = measure_pentium_path(64, window=300_000)
+    assert m.rate_pps == pytest.approx(534e3, rel=0.10)
+    # ~500 spare Pentium cycles per packet, StrongARM saturated.
+    assert 300 < m.pentium_spare_cycles < 700
+    assert m.strongarm_spare_cycles < 150
+
+
+def test_pentium_path_1500b_is_bus_bound():
+    m = measure_pentium_path(1500, window=1_200_000)
+    assert m.rate_pps == pytest.approx(43.6e3, rel=0.10)
+    # The StrongARM has thousands of spare cycles at this rate.
+    assert m.strongarm_spare_cycles > 3000
+
+
+def test_hierarchy_path_capacities_ordered():
+    """Path A >> paths B and C; B and C are within 2x of each other."""
+    from repro.ixp.workbench import measure_system_rate
+
+    path_a = measure_system_rate(window=100_000).output_pps
+    path_b = measure_strongarm_path(window=150_000)
+    path_c = measure_pentium_path(64, window=200_000).rate_pps
+    assert path_a > 4 * max(path_b, path_c)
+    assert 0.5 < path_b / path_c < 2.0
+
+
+def test_sa_drop_forwarder_drops():
+    chip = IXP1200(ChipConfig(input_contexts=0, output_contexts=0))
+    sa = StrongARM(chip)
+    packets = take(uniform_flood(3, num_ports=1), 3)
+    from repro.ixp.buffers import BufferHandle
+    from repro.ixp.queues import PacketDescriptor
+
+    for packet in packets:
+        packet.meta["sa_forwarder"] = "drop"
+        chip.sa_local_queue.enqueue(
+            PacketDescriptor(BufferHandle(0, 0), packet, 1, 0, 0)
+        )
+    chip.sim.run(until=50_000)
+    assert sa.dropped_local == 3
+    assert sa.local_processed == 3
+    assert chip.bank.total_enqueued == 0  # nothing re-queued
+
+
+def test_sa_local_forwarder_requeues_to_output():
+    chip = IXP1200(ChipConfig(input_contexts=0, output_contexts=0))
+    sa = StrongARM(chip)
+    packet = take(uniform_flood(1, num_ports=1), 1)[0]
+    packet.meta["out_port"] = 3
+    from repro.ixp.buffers import BufferHandle
+    from repro.ixp.queues import PacketDescriptor
+
+    chip.sa_local_queue.enqueue(PacketDescriptor(BufferHandle(0, 0), packet, 1, 0, 0))
+    chip.sim.run(until=50_000)
+    assert sa.local_processed == 1
+    queue = chip.bank.queues_for_port(3)[0]
+    assert queue.enqueued == 1
+
+
+def test_sa_rejects_bad_mode():
+    chip = IXP1200(ChipConfig(input_contexts=0, output_contexts=0))
+    with pytest.raises(ValueError):
+        StrongARM(chip, mode="psychic")
+
+
+# -- baseline -------------------------------------------------------------------
+
+
+def test_pure_pc_analytic_rate_hundreds_of_kpps():
+    pc = PurePCRouter()
+    rate = pc.max_rate_pps(64)
+    assert 200e3 < rate < 700e3
+
+
+def test_pure_pc_simulated_rate_matches_analytic():
+    pc = PurePCRouter()
+    simulated = pc.measure_rate(uniform_flood(300, num_ports=1))
+    assert simulated == pytest.approx(pc.max_rate_pps(64), rel=0.15)
+
+
+def test_headline_order_of_magnitude():
+    """The paper's headline: hierarchy ~3.47 Mpps vs pure PC, 'nearly an
+    order of magnitude'."""
+    from repro.ixp.workbench import measure_system_rate
+
+    hierarchy = measure_system_rate(window=100_000).output_pps
+    pc = PurePCRouter().max_rate_pps(64)
+    assert 5 < hierarchy / pc < 15
+
+
+def test_pure_pc_drops_unroutable():
+    from repro.net.routing import RoutingTable
+
+    table = RoutingTable()
+    table.add("10.0.0.0", 16, 1)
+    pc = PurePCRouter(routing_table=table)
+    pc.measure_rate(uniform_flood(10, num_ports=8))  # most dsts unroutable
+    assert pc.dropped > 0
+    assert pc.forwarded + pc.dropped == 10

@@ -1,0 +1,89 @@
+"""Tests for the PCI bus and I2O queue pairs."""
+
+import pytest
+
+from repro.engine import Simulator
+from repro.hosts.pci import (
+    EAGER_BYTES,
+    I2OMessage,
+    I2OQueuePair,
+    PCIBus,
+    pci_transfer_cycles,
+)
+
+
+def test_transfer_cycles_match_bus_bandwidth():
+    # 32-bit x 33 MHz = 1.056 Gbps; 72 bytes -> ~109 cycles at 200 MHz.
+    assert pci_transfer_cycles(72) == 110
+    assert pci_transfer_cycles(1500) == pytest.approx(1500 * 8 / 1.056e9 * 200e6, abs=1)
+    assert pci_transfer_cycles(0) == 0
+
+
+def test_negative_transfer_rejected():
+    with pytest.raises(ValueError):
+        pci_transfer_cycles(-1)
+
+
+def test_eager_bytes_is_64_plus_8():
+    # "we move just the first 64-bytes across the PCI bus, along with an
+    # 8-byte internal routing header"
+    assert EAGER_BYTES == 72
+
+
+def test_bus_serializes_transfers():
+    sim = Simulator()
+    bus = PCIBus(sim)
+    done = []
+
+    def mover(i):
+        yield from bus.transfer(72)
+        done.append((i, sim.now))
+
+    sim.spawn(mover(0))
+    sim.spawn(mover(1))
+    sim.run()
+    assert done[0][1] == 110
+    assert done[1][1] == 220
+    assert bus.bytes_moved == 144
+    assert bus.utilization(220) == pytest.approx(1.0)
+
+
+def make_message():
+    return I2OMessage(packet=None, eager_bytes=72, body_bytes=0, flow_metadata={})
+
+
+def test_i2o_send_receive_roundtrip():
+    pair = I2OQueuePair(depth=4)
+    message = make_message()
+    assert pair.try_send(message)
+    assert pair.occupancy == 1
+    assert pair.try_receive() is message
+    assert pair.occupancy == 0
+    assert pair.try_receive() is None
+
+
+def test_i2o_backpressure_when_free_exhausted():
+    pair = I2OQueuePair(depth=2)
+    assert pair.try_send(make_message())
+    assert pair.try_send(make_message())
+    assert not pair.try_send(make_message())
+    assert pair.backpressure_events == 1
+    # Receiving recycles a buffer; sending works again.
+    pair.try_receive()
+    assert pair.try_send(make_message())
+
+
+def test_i2o_buffers_recycle_in_order():
+    pair = I2OQueuePair(depth=2)
+    pair.try_send(make_message())
+    first_id = pair.full[0][0]
+    pair.try_receive()
+    pair.try_send(make_message())
+    pair.try_send(make_message())
+    ids = [entry[0] for entry in pair.full]
+    assert first_id in ids  # the recycled buffer is reused
+
+
+def test_i2o_bad_depth():
+    with pytest.raises(ValueError):
+        I2OQueuePair(depth=0)

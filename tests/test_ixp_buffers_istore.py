@@ -1,0 +1,161 @@
+"""Tests for the circular buffer allocator and the instruction store."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ixp.buffers import BufferPool
+from repro.ixp.istore import WRITE_CYCLES_PER_INSTRUCTION, InstructionStore, IStoreError
+
+
+# -- BufferPool ---------------------------------------------------------------
+
+
+def test_alloc_is_circular():
+    pool = BufferPool(buffer_count=4, buffer_bytes=2048)
+    handles = [pool.alloc() for __ in range(6)]
+    assert [h.index for h in handles] == [0, 1, 2, 3, 0, 1]
+
+
+def test_read_write_roundtrip():
+    pool = BufferPool(buffer_count=8)
+    handle = pool.alloc()
+    assert pool.write(handle, "payload")
+    assert pool.read(handle) == "payload"
+
+
+def test_one_pass_lifetime():
+    """A buffer is valid until the ring wraps back to it: exactly one pass
+    (the paper's 'interesting property')."""
+    pool = BufferPool(buffer_count=4)
+    handle = pool.alloc(contents="old")
+    for __ in range(pool.lifetime_allocations() - 1):
+        assert pool.is_valid(handle)
+        pool.alloc()
+    # The next allocation reuses the slot.
+    pool.alloc()
+    assert not pool.is_valid(handle)
+    assert pool.read(handle) is None
+    assert pool.stale_reads == 1
+    assert not pool.write(handle, "new")
+
+
+def test_oversized_packet_rejected():
+    pool = BufferPool(buffer_bytes=2048)
+    with pytest.raises(ValueError):
+        pool.alloc(size=2049)
+    # A maximal 1518-byte Ethernet frame must fit.
+    pool.alloc(size=1518)
+
+
+def test_bad_dimensions_rejected():
+    with pytest.raises(ValueError):
+        BufferPool(buffer_count=0)
+    with pytest.raises(ValueError):
+        BufferPool(buffer_bytes=0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(count=st.integers(2, 64), extra=st.integers(0, 200))
+def test_lifetime_property(count, extra):
+    """For any pool size: a handle survives exactly ``count - 1`` further
+    allocations and dies on the ``count``-th."""
+    pool = BufferPool(buffer_count=count)
+    handle = pool.alloc()
+    for i in range(count - 1):
+        assert pool.is_valid(handle), f"died early at {i}"
+        pool.alloc()
+    pool.alloc()
+    assert not pool.is_valid(handle)
+
+
+# -- InstructionStore ------------------------------------------------------------
+
+
+def test_istore_default_extension_budget():
+    store = InstructionStore(capacity=1024, fixed_instructions=374)
+    assert store.extension_capacity == 650
+    assert store.free_slots == 650
+
+
+def test_per_flow_install_grows_up():
+    store = InstructionStore()
+    a = store.install_per_flow("splicer", 45)
+    b = store.install_per_flow("dropper", 28)
+    assert b == a + 45
+    assert store.used_by_extensions == 73
+
+
+def test_general_install_grows_down_and_chains():
+    store = InstructionStore(capacity=1024, fixed_instructions=374)
+    ip = store.install_general("ip", 32)
+    monitor = store.install_general("syn-monitor", 5)
+    assert ip == 1024 - 32
+    assert monitor == ip - 5
+    # Fall-through order: most recently installed runs first.
+    assert store.general_chain() == ["syn-monitor", "ip"]
+
+
+def test_install_charges_write_cycles():
+    store = InstructionStore()
+    store.install_per_flow("f", 10)
+    # "adding a 10-instruction forwarder to the ISTORE takes 800 cycles"
+    assert store.write_cycles_total == 800
+    assert WRITE_CYCLES_PER_INSTRUCTION * 10 == 800
+
+
+def test_full_reload_cost():
+    store = InstructionStore(capacity=1024)
+    cycles = store.full_reload()
+    # "rewriting the entire ISTORE takes over 80,000 cycles"
+    assert cycles >= 80_000
+    assert store.reload_count == 1
+
+
+def test_capacity_enforced():
+    store = InstructionStore(capacity=1024, fixed_instructions=374)
+    store.install_per_flow("big", 600)
+    with pytest.raises(IStoreError):
+        store.install_general("too-big", 100)
+    store.install_general("fits", 50)
+    assert store.free_slots == 0
+
+
+def test_duplicate_names_rejected():
+    store = InstructionStore()
+    store.install_per_flow("f", 10)
+    with pytest.raises(IStoreError):
+        store.install_general("f", 10)
+
+
+def test_remove_compacts_and_charges():
+    store = InstructionStore()
+    store.install_per_flow("a", 10)
+    store.install_per_flow("b", 20)
+    store.install_per_flow("c", 30)
+    before = store.write_cycles_total
+    store.remove("a")
+    # b and c (50 instructions) must be rewritten.
+    assert store.write_cycles_total - before == 50 * WRITE_CYCLES_PER_INSTRUCTION
+    assert store.offset_of("b") == store.ext_base
+    assert store.offset_of("c") == store.ext_base + 20
+    with pytest.raises(IStoreError):
+        store.offset_of("a")
+
+
+def test_remove_unknown_rejected():
+    with pytest.raises(IStoreError):
+        InstructionStore().remove("ghost")
+
+
+def test_installed_listing():
+    store = InstructionStore()
+    store.install_per_flow("pf", 10)
+    store.install_general("gen", 5)
+    listing = store.installed()
+    assert listing["pf"][2] == "per_flow"
+    assert listing["gen"][2] == "general"
+
+
+def test_zero_length_rejected():
+    with pytest.raises(IStoreError):
+        InstructionStore().install_per_flow("empty", 0)

@@ -1,0 +1,180 @@
+"""Integration tests for the assembled chip: pipeline behaviour, rates,
+functional forwarding through real ports, and the key shape properties
+from the paper's evaluation."""
+
+import pytest
+
+from repro.ixp import ChipConfig, IXP1200, InputDiscipline, OutputDiscipline
+from repro.ixp.programs import TimedVRP
+from repro.net.mac import MACPort, PortSpeed, make_board_ports
+from repro.net.traffic import standard_table, take, uniform_flood
+
+
+SHORT = 80_000   # cycles; keep unit tests quick
+WARM = 15_000
+
+
+def synthetic_chip(**kwargs):
+    return IXP1200(ChipConfig(traffic="synthetic", **kwargs))
+
+
+def test_default_system_forwards_around_3_5_mpps():
+    """The headline number: the full I.2+O.1 system forwards minimum-sized
+    packets in the low-3-Mpps range (paper: 3.47 Mpps)."""
+    chip = synthetic_chip()
+    m = chip.measure(window=150_000, warmup=WARM)
+    assert 3.0e6 < m.output_pps < 4.0e6
+    assert m.queue_drops == 0 or m.queue_drops < m.output_packets * 0.01
+
+
+def test_input_and_output_rates_balance():
+    chip = synthetic_chip()
+    m = chip.measure(window=SHORT, warmup=WARM)
+    assert m.input_packets == pytest.approx(m.output_packets, rel=0.05)
+
+
+def test_discipline_orderings_match_table1():
+    """I.1 > I.2 > I.3 and O.1 > O.2 > O.3 (Table 1's qualitative result).
+
+    Uses short windows; the benchmark suite measures precise values.
+    """
+    from repro.ixp.workbench import measure_input_rate, measure_output_rate
+
+    i1 = measure_input_rate(discipline=InputDiscipline.PRIVATE, window=SHORT)
+    i2 = measure_input_rate(discipline=InputDiscipline.PROTECTED, window=SHORT)
+    i3 = measure_input_rate(discipline=InputDiscipline.PROTECTED, contention=True, window=SHORT)
+    assert i1 > i2 > i3
+    assert i3 < 0.6 * i2  # contention collapse is large
+
+    o1 = measure_output_rate(discipline=OutputDiscipline.SINGLE_BATCHED, window=SHORT)
+    o2 = measure_output_rate(discipline=OutputDiscipline.SINGLE_UNBATCHED, window=SHORT)
+    o3 = measure_output_rate(discipline=OutputDiscipline.MULTI_INDIRECT, window=SHORT)
+    assert o1 > o2 > o3
+
+
+def test_vrp_blocks_reduce_rate_monotonically():
+    """Figure 9's shape: more VRP blocks, lower forwarding rate."""
+    from repro.ixp.workbench import measure_system_rate
+
+    rates = []
+    for blocks in (0, 16, 48):
+        vrp = TimedVRP.blocks(blocks) if blocks else None
+        rates.append(measure_system_rate(vrp=vrp, window=SHORT).output_pps)
+    assert rates[0] > rates[1] > rates[2]
+    # 48 combo blocks cost far more than half the capacity.
+    assert rates[2] < rates[0] / 3
+
+
+def test_contention_overhead_absorbed_by_vrp():
+    """Figure 10's shape: with a large VRP budget, the contended and
+    uncontended forwarding times converge."""
+    from repro.ixp.workbench import measure_input_rate
+
+    free0 = measure_input_rate(window=SHORT)
+    jam0 = measure_input_rate(contention=True, window=SHORT)
+    overhead_none = 1 / jam0 - 1 / free0
+
+    vrp = TimedVRP.blocks(64)
+    free64 = measure_input_rate(vrp=vrp, window=SHORT)
+    jam64 = measure_input_rate(vrp=vrp, contention=True, window=SHORT)
+    overhead_vrp = 1 / jam64 - 1 / free64
+
+    assert overhead_none > 0
+    assert overhead_vrp < overhead_none * 0.4
+
+
+def test_dram_direct_is_slower_and_saturates_dram():
+    """Section 3.5.2 ablation: FIFO bypass doubles the DRAM passes per
+    MP, saturating the channel and capping below the FIFO design
+    (paper: 2.69 vs 3.47 Mpps)."""
+    from repro.ixp.workbench import measure_dram_direct_system, measure_system_rate
+
+    direct = measure_dram_direct_system(window=SHORT)
+    normal = measure_system_rate(window=SHORT)
+    assert direct.output_pps < normal.output_pps
+    assert direct.dram_utilization > 0.75  # channel near saturation
+    assert direct.dram_utilization > normal.dram_utilization
+
+
+def test_too_many_input_contexts_rejected():
+    with pytest.raises(ValueError):
+        IXP1200(ChipConfig(input_contexts=17))
+
+
+def test_context_budget_enforced():
+    with pytest.raises(ValueError):
+        IXP1200(ChipConfig(input_contexts=16, output_contexts=12))
+
+
+def test_unknown_traffic_mode_rejected():
+    with pytest.raises(ValueError):
+        IXP1200(ChipConfig(traffic="carrier-pigeon"))
+
+
+def test_ports_mode_requires_ports():
+    with pytest.raises(ValueError):
+        IXP1200(ChipConfig(traffic="ports"))
+
+
+def test_exceptional_packets_reach_sa_queue():
+    chip = synthetic_chip(synthetic_exceptional_every=10)
+    chip.measure(window=SHORT, warmup=WARM)
+    assert chip.counters["exceptional"] > 0
+    assert chip.sa_local_queue.enqueued > 0
+
+
+def test_functional_forwarding_through_real_ports():
+    """End-to-end: real packets in port 0, classified by the route cache,
+    transmitted out the right egress port with the next-hop MAC."""
+    from repro.engine import Simulator
+
+    sim = Simulator()
+    table = standard_table()
+    ports = make_board_ports(sim)
+    chip = IXP1200(
+        ChipConfig(traffic="ports", num_ports=10, input_mes=4, output_mes=2),
+        sim=sim,
+        ports=ports,
+        routing_table=table,
+    )
+    chip.route_cache.warm(
+        [p.ip.dst for p in take(uniform_flood(16, num_ports=8), 16)]
+    )
+    packets = take(uniform_flood(16, num_ports=8), 16)
+    ports[9].attach_source(packets)  # arrive on the gigabit port
+    sim.run(until=600_000)
+    transmitted = [p for port in ports for p in port.transmitted]
+    assert len(transmitted) == 16
+    # Each went out the port its destination prefix maps to.
+    for packet in transmitted:
+        route = table.lookup(packet.ip.dst)
+        assert packet.meta["out_port"] == route.out_port
+        assert packet.eth.dst == route.next_hop_mac
+
+
+def test_route_cache_miss_goes_exceptional():
+    from repro.engine import Simulator
+
+    sim = Simulator()
+    table = standard_table()
+    ports = make_board_ports(sim)
+    chip = IXP1200(
+        ChipConfig(traffic="ports", num_ports=10),
+        sim=sim, ports=ports, routing_table=table,
+    )
+    packets = take(uniform_flood(4, num_ports=8), 4)  # cache is cold
+    ports[0].attach_source(packets)
+    sim.run(until=300_000)
+    assert chip.counters["exceptional"] == 4
+    assert chip.sa_local_queue.enqueued == 4
+    assert all(
+        d.packet.meta["exceptional"] == "route-cache-miss"
+        for d in chip.sa_local_queue._entries
+    )
+
+
+def test_measurement_window_excludes_warmup():
+    chip = synthetic_chip()
+    m = chip.measure(window=50_000, warmup=10_000)
+    assert m.window_cycles == pytest.approx(50_000, abs=500)
+    assert m.output_pps > 0

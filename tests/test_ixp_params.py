@@ -1,0 +1,75 @@
+"""Tests pinning the cost model to the paper's published constants."""
+
+import pytest
+
+from repro.ixp.params import DEFAULT_PARAMS, CostModel, IXPParams
+
+
+def test_input_register_total_is_table2_171():
+    assert CostModel().input_register_total == 171
+
+
+def test_output_register_total_is_table2_109():
+    assert CostModel().output_register_total == 109
+
+
+def test_memory_latencies_are_table3():
+    p = DEFAULT_PARAMS
+    assert (p.dram.read_latency, p.dram.write_latency) == (52, 40)
+    assert (p.sram.read_latency, p.sram.write_latency) == (22, 22)
+    assert (p.scratch.read_latency, p.scratch.write_latency) == (16, 20)
+
+
+def test_transfer_sizes_are_table3():
+    p = DEFAULT_PARAMS
+    assert p.dram.transfer_bytes == 32
+    assert p.sram.transfer_bytes == 4
+    assert p.scratch.transfer_bytes == 4
+
+
+def test_chip_geometry():
+    p = DEFAULT_PARAMS
+    assert p.num_microengines == 6
+    assert p.contexts_per_me == 4
+    assert p.total_contexts == 24
+    assert p.fifo_slots == 16
+    assert p.clock_hz == 200e6
+    assert p.cycle_ns == pytest.approx(5.0)
+
+
+def test_buffer_pool_dimensions():
+    # 16 MB / 2 KB = 8192 buffers (section 3.2.3).
+    p = DEFAULT_PARAMS
+    assert p.buffer_count == 8192
+    assert p.buffer_bytes == 2048
+    assert p.buffer_count * p.buffer_bytes == 16 * 1024 * 1024
+
+
+def test_istore_extension_budget():
+    # 650 instruction slots for extensions (section 4.3).
+    assert DEFAULT_PARAMS.istore_free_for_extensions == 650
+
+
+def test_pps_helper():
+    p = DEFAULT_PARAMS
+    # 347 packets in 20_000 cycles at 200 MHz -> 3.47 Mpps.
+    assert p.pps(347, 20_000) == pytest.approx(3.47e6)
+    assert p.pps(10, 0) == 0.0
+
+
+def test_occupancy_never_exceeds_latency():
+    p = DEFAULT_PARAMS
+    for timing in (p.dram, p.sram, p.scratch):
+        assert timing.occupancy <= timing.read_latency
+        assert timing.occupancy <= timing.write_latency
+
+
+def test_paper_envelope_math():
+    """The paper's own arithmetic: 280 register cycles/packet gives a
+    4.29 Mpps optimistic bound on 6 engines; 3.47 Mpps is ~80% of it."""
+    p = DEFAULT_PARAMS
+    total_regs = p.cost.input_register_total + p.cost.output_register_total
+    assert total_regs == 280
+    bound = p.num_microengines * p.clock_hz / total_regs
+    assert bound == pytest.approx(4.29e6, rel=0.01)
+    assert 3.47e6 / bound == pytest.approx(0.81, abs=0.02)

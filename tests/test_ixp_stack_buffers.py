@@ -1,0 +1,105 @@
+"""Tests for the per-port buffer-stack allocator (section 3.2.3's
+described-but-not-built alternative to the circular scheme)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ixp.buffers import BufferPool, StackBufferPool
+
+
+def test_alloc_free_roundtrip():
+    pool = StackBufferPool(buffer_count=16, num_ports=4)
+    index = pool.alloc(out_port=1, contents="pkt")
+    assert pool.read(index) == "pkt"
+    pool.free(index)
+    assert pool.allocations == 1 and pool.frees == 1
+
+
+def test_no_reuse_loss_unlike_circular():
+    """The stack scheme's selling point: buffers survive until freed."""
+    pool = StackBufferPool(buffer_count=8, num_ports=2)
+    index = pool.alloc(out_port=0, contents="keep")
+    # Allocate and free far more than the pool size on the other port.
+    for __ in range(50):
+        other = pool.alloc(out_port=1)
+        pool.free(other)
+    assert pool.read(index) == "keep"  # still valid
+
+
+def test_per_port_exhaustion_is_isolated():
+    """A slow port exhausts only its own stack (the design's reason for
+    per-port stacks: 'to prevent contention from causing shortages')."""
+    pool = StackBufferPool(buffer_count=8, num_ports=2)
+    grabbed = [pool.alloc(out_port=0) for __ in range(4)]
+    assert all(g is not None for g in grabbed)
+    assert pool.alloc(out_port=0) is None  # port 0 exhausted
+    assert pool.exhaustions == 1
+    assert pool.alloc(out_port=1) is not None  # port 1 unaffected
+
+
+def test_double_free_rejected():
+    pool = StackBufferPool(buffer_count=4, num_ports=1)
+    index = pool.alloc(out_port=0)
+    pool.free(index)
+    with pytest.raises(ValueError):
+        pool.free(index)
+
+
+def test_read_unallocated_rejected():
+    pool = StackBufferPool(buffer_count=4, num_ports=1)
+    with pytest.raises(ValueError):
+        pool.read(0)
+
+
+def test_oversize_rejected():
+    pool = StackBufferPool(buffer_bytes=2048, num_ports=1)
+    with pytest.raises(ValueError):
+        pool.alloc(out_port=0, size=4096)
+
+
+def test_bad_dimensions_rejected():
+    with pytest.raises(ValueError):
+        StackBufferPool(buffer_count=0)
+    with pytest.raises(ValueError):
+        StackBufferPool(num_ports=0)
+
+
+def test_extra_cost_documented():
+    # The paper: "this is not strictly necessary and adds overhead".
+    assert StackBufferPool.EXTRA_SRAM_OPS_PER_PACKET == 2
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=st.lists(st.tuples(st.booleans(), st.integers(0, 3)), max_size=60))
+def test_stack_conservation_property(ops):
+    """Invariant: allocated + free == total, always, under any alloc/free
+    interleaving."""
+    pool = StackBufferPool(buffer_count=16, num_ports=4)
+    live = []
+    for is_alloc, port in ops:
+        if is_alloc:
+            index = pool.alloc(out_port=port)
+            if index is not None:
+                live.append(index)
+        elif live:
+            pool.free(live.pop())
+    free_total = sum(pool.available(p) for p in range(4))
+    assert free_total + len(live) == 16
+    assert len(set(live)) == len(live)  # no buffer handed out twice
+
+
+def test_contrast_with_circular_lifetime():
+    """Side-by-side: the circular pool loses a long-lived packet, the
+    stack pool keeps it but can refuse allocations."""
+    circular = BufferPool(buffer_count=4)
+    handle = circular.alloc(contents="slow-packet")
+    for __ in range(4):
+        circular.alloc()
+    assert circular.read(handle) is None           # lost to reuse
+
+    stacks = StackBufferPool(buffer_count=4, num_ports=1)
+    index = stacks.alloc(out_port=0, contents="slow-packet")
+    while stacks.alloc(out_port=0) is not None:
+        pass
+    assert stacks.read(index) == "slow-packet"     # kept
+    assert stacks.exhaustions > 0                  # but allocation failed

@@ -1,0 +1,115 @@
+"""Tests for the token-passing serialization mechanism."""
+
+import pytest
+
+from repro.engine import Delay, Simulator
+from repro.ixp.token_ring import TokenRing, interleave_across_engines
+
+
+def test_interleave_spreads_across_engines():
+    # 8 contexts on 2 engines (ids 0-3 on ME0, 4-7 on ME1) must alternate.
+    order = interleave_across_engines(list(range(8)), contexts_per_me=4)
+    assert order == [0, 4, 1, 5, 2, 6, 3, 7]
+
+
+def test_interleave_16_contexts_adjacent_differ_by_engine():
+    order = interleave_across_engines(list(range(16)), contexts_per_me=4)
+    engines = [cid // 4 for cid in order]
+    for a, b in zip(engines, engines[1:]):
+        assert a != b
+
+
+def test_ring_requires_members():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        TokenRing(sim, [])
+    with pytest.raises(ValueError):
+        TokenRing(sim, [1, 1])
+
+
+def test_token_rotates_in_fixed_order():
+    sim = Simulator()
+    ring = TokenRing(sim, [0, 1, 2], pass_cycles=1)
+    grants = []
+
+    def member(i):
+        for __ in range(3):
+            yield from ring.acquire(i)
+            grants.append(i)
+            yield from ring.release(i)
+
+    for i in (2, 0, 1):  # spawn order must not matter
+        sim.spawn(member(i))
+    sim.run()
+    assert grants == [0, 1, 2] * 3
+    assert ring.rotations == 9
+
+
+def test_token_waits_for_slow_member():
+    """Fixed rotation: a busy member stalls the whole ring."""
+    sim = Simulator()
+    ring = TokenRing(sim, [0, 1], pass_cycles=0)
+    grants = []
+
+    def fast():
+        for __ in range(3):
+            yield from ring.acquire(0)
+            grants.append((0, sim.now))
+            yield from ring.release(0)
+
+    def slow():
+        for __ in range(3):
+            yield Delay(100)  # busy elsewhere
+            yield from ring.acquire(1)
+            grants.append((1, sim.now))
+            yield from ring.release(1)
+
+    sim.spawn(fast())
+    sim.spawn(slow())
+    sim.run()
+    # The fast member's later grants are paced by the slow member.
+    times = dict()
+    for who, when in grants:
+        times.setdefault(who, []).append(when)
+    assert times[1] == [100, 200, 300]
+    assert times[0][1] >= 100 and times[0][2] >= 200
+
+
+def test_release_by_non_holder_rejected():
+    sim = Simulator()
+    ring = TokenRing(sim, [0, 1])
+
+    def bad():
+        yield from ring.release(1)
+
+    sim.spawn(bad())
+    with pytest.raises(RuntimeError):
+        sim.run()
+
+
+def test_acquire_by_non_member_rejected():
+    sim = Simulator()
+    ring = TokenRing(sim, [0, 1])
+
+    def bad():
+        yield from ring.acquire(5)
+
+    sim.spawn(bad())
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+def test_pass_cycles_charged():
+    sim = Simulator()
+    ring = TokenRing(sim, [0], pass_cycles=7)
+    times = []
+
+    def member():
+        for __ in range(2):
+            yield from ring.acquire(0)
+            yield from ring.release(0)
+            times.append(sim.now)
+
+    sim.spawn(member())
+    sim.run()
+    assert times == [7, 14]

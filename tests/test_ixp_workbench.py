@@ -1,0 +1,77 @@
+"""Smoke tests for the experiment workbench (fast, small windows).
+
+The benchmarks run these at full fidelity; here we pin the interfaces
+and the coarse shapes so refactoring cannot silently break the harness.
+"""
+
+import pytest
+
+from repro.ixp.workbench import (
+    figure7_series,
+    figure9_series,
+    figure10_series,
+    measure_dram_direct_system,
+    measure_input_rate,
+    measure_output_rate,
+    measure_system_rate,
+    me_split_sweep,
+    table1_rows,
+)
+
+TINY = 50_000
+
+
+def test_measure_input_rate_returns_pps():
+    rate = measure_input_rate(window=TINY)
+    assert 2e6 < rate < 5e6
+
+
+def test_measure_output_rate_returns_pps():
+    rate = measure_output_rate(window=TINY)
+    assert 2e6 < rate < 5e6
+
+
+def test_measure_system_rate_measurement_fields():
+    m = measure_system_rate(window=TINY)
+    assert m.output_pps > 0
+    assert m.window_cycles == pytest.approx(TINY, abs=500)
+    assert m.input_mps >= m.input_packets
+    assert 0 <= m.dram_utilization <= 1
+
+
+def test_table1_has_all_six_rows():
+    rows = table1_rows(window=TINY)
+    assert len(rows) == 6
+    assert all(0.5 < v < 6 for v in rows.values())
+
+
+def test_figure7_respects_fifo_slot_limit():
+    inputs, outputs = figure7_series(context_counts=[4, 20], window=TINY)
+    assert 4 in inputs and 20 not in inputs  # >16 impossible for input
+    assert 20 in outputs
+
+
+def test_figure9_flavours():
+    series = figure9_series(block_counts=[0, 16], window=TINY)
+    assert set(series) == {"10 register instr", "4B SRAM read", "10 reg + 4B SRAM"}
+    for flavour in series.values():
+        assert flavour[16] < flavour[0]
+
+
+def test_figure10_returns_microseconds():
+    series = figure10_series(block_counts=[0], window=TINY)
+    free, jam = series[0]
+    assert 0.1 < free < 1.0
+    assert jam > free
+
+
+def test_dram_direct_saturates():
+    m = measure_dram_direct_system(window=TINY)
+    assert m.dram_utilization > 0.9
+
+
+def test_me_split_sweep_shapes():
+    results = me_split_sweep(window=TINY, splits=[(2, 4), (4, 2)])
+    assert results[(4, 2)] > results[(2, 4)]
+    with pytest.raises(ValueError):
+        me_split_sweep(window=TINY, splits=[(5, 1)])

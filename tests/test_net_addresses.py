@@ -1,0 +1,80 @@
+"""Tests for IPv4/MAC address value types."""
+
+import pytest
+
+from repro.net import IPv4Address, MACAddress
+
+
+def test_ipv4_parse_and_format_roundtrip():
+    addr = IPv4Address("192.168.1.200")
+    assert str(addr) == "192.168.1.200"
+    assert int(addr) == (192 << 24) | (168 << 16) | (1 << 8) | 200
+
+
+def test_ipv4_from_int_and_bytes():
+    addr = IPv4Address(0x0A000001)
+    assert str(addr) == "10.0.0.1"
+    assert IPv4Address.from_bytes(addr.packed()) == addr
+
+
+def test_ipv4_copy_constructor():
+    a = IPv4Address("1.2.3.4")
+    assert IPv4Address(a) == a
+
+
+@pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d"])
+def test_ipv4_rejects_bad_strings(bad):
+    with pytest.raises(ValueError):
+        IPv4Address(bad)
+
+
+def test_ipv4_rejects_out_of_range_int():
+    with pytest.raises(ValueError):
+        IPv4Address(1 << 32)
+    with pytest.raises(ValueError):
+        IPv4Address(-1)
+
+
+def test_ipv4_rejects_wrong_type():
+    with pytest.raises(TypeError):
+        IPv4Address(1.5)
+
+
+def test_ipv4_prefix_bits():
+    addr = IPv4Address("192.168.0.0")
+    assert addr.prefix_bits(16) == (192 << 8) | 168
+    assert addr.prefix_bits(0) == 0
+    assert addr.prefix_bits(32) == int(addr)
+    with pytest.raises(ValueError):
+        addr.prefix_bits(33)
+
+
+def test_ipv4_hash_and_ordering():
+    a, b = IPv4Address("10.0.0.1"), IPv4Address("10.0.0.2")
+    assert a < b
+    assert len({a, IPv4Address("10.0.0.1")}) == 1
+
+
+def test_mac_parse_format_roundtrip():
+    mac = MACAddress("02:00:00:00:00:07")
+    assert str(mac) == "02:00:00:00:00:07"
+    assert MACAddress.from_bytes(mac.packed()) == mac
+
+
+def test_mac_for_port_is_deterministic_and_local():
+    mac = MACAddress.for_port(3)
+    assert mac == MACAddress.for_port(3)
+    assert mac != MACAddress.for_port(4)
+    assert mac.packed()[0] == 0x02  # locally administered
+
+
+@pytest.mark.parametrize("bad", ["02:00:00:00:00", "zz:00:00:00:00:00"])
+def test_mac_rejects_bad_strings(bad):
+    with pytest.raises(ValueError):
+        MACAddress(bad)
+
+
+def test_mac_and_ipv4_hash_distinctly():
+    # Same integer value must not collide across types in a dict.
+    table = {IPv4Address(5): "ip", MACAddress(5): "mac"}
+    assert len(table) == 2

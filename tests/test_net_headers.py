@@ -1,0 +1,128 @@
+"""Tests for Ethernet, IPv4 and TCP header codecs."""
+
+import pytest
+
+from repro.net import (
+    ETHERTYPE_IPV4,
+    EthernetHeader,
+    IPv4Address,
+    IPv4Header,
+    MACAddress,
+    TCP_ACK,
+    TCP_SYN,
+    TCPHeader,
+    checksum16,
+)
+from repro.net.ethernet import max_frame_rate, wire_bits
+from repro.net.ip import record_route_option
+
+
+def test_ethernet_roundtrip():
+    header = EthernetHeader(MACAddress.for_port(1), MACAddress.for_port(2))
+    assert EthernetHeader.parse(header.packed()) == header
+
+
+def test_ethernet_parse_truncated():
+    with pytest.raises(ValueError):
+        EthernetHeader.parse(b"\x00" * 10)
+
+
+def test_wire_rate_matches_ieee_numbers():
+    # The paper: theoretical max of 148.8 Kpps for 64-byte frames at 100 Mbps.
+    assert max_frame_rate(100e6, 64) == pytest.approx(148_809.5, rel=1e-3)
+    assert wire_bits(64) == (64 + 20) * 8
+
+
+def test_checksum16_known_vector():
+    # RFC 1071 example data.
+    data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+    assert checksum16(data) == 0x220D
+
+
+def test_checksum16_odd_length():
+    assert checksum16(b"\xFF") == (~0xFF00) & 0xFFFF
+
+
+def test_ipv4_roundtrip_and_validate():
+    header = IPv4Header(IPv4Address("1.2.3.4"), IPv4Address("5.6.7.8"), total_length=40, ttl=9)
+    data = header.packed()
+    parsed = IPv4Header.parse(data)
+    assert parsed.src == header.src
+    assert parsed.dst == header.dst
+    assert parsed.ttl == 9
+    ok, reason = parsed.validate()
+    assert ok, reason
+
+
+def test_ipv4_checksum_detects_corruption():
+    header = IPv4Header(IPv4Address("1.2.3.4"), IPv4Address("5.6.7.8"))
+    data = bytearray(header.packed())
+    data[8] ^= 0xFF  # corrupt TTL
+    ok, reason = IPv4Header.parse(bytes(data)).validate()
+    assert not ok
+    assert reason == "bad-checksum"
+
+
+def test_ipv4_ttl_decrement_and_expiry():
+    header = IPv4Header(IPv4Address("1.1.1.1"), IPv4Address("2.2.2.2"), ttl=2)
+    assert header.decrement_ttl()
+    assert header.ttl == 1
+    assert not header.decrement_ttl()  # would hit zero: drop
+
+
+def test_ipv4_options_make_header_longer():
+    options = record_route_option()
+    header = IPv4Header(IPv4Address("1.1.1.1"), IPv4Address("2.2.2.2"), options=options)
+    assert header.has_options
+    assert header.header_length == 20 + len(options)
+    parsed = IPv4Header.parse(header.packed())
+    assert parsed.options == options
+    assert 7 in parsed.option_kinds()  # Record Route
+
+
+def test_ipv4_rejects_unaligned_options():
+    with pytest.raises(ValueError):
+        IPv4Header(IPv4Address("1.1.1.1"), IPv4Address("2.2.2.2"), options=b"\x01")
+
+
+def test_ipv4_validate_length_vs_frame():
+    header = IPv4Header(IPv4Address("1.1.1.1"), IPv4Address("2.2.2.2"), total_length=100)
+    ok, reason = IPv4Header.parse(header.packed()).validate(frame_payload_len=50)
+    assert not ok
+    assert reason == "length-exceeds-frame"
+
+
+def test_ipv4_parse_rejects_garbage():
+    with pytest.raises(ValueError):
+        IPv4Header.parse(b"\x00" * 20)  # version 0
+    with pytest.raises(ValueError):
+        IPv4Header.parse(b"\x41" + b"\x00" * 19)  # IHL 1
+
+
+def test_tcp_roundtrip():
+    header = TCPHeader(5001, 80, seq=1000, ack=2000, flags=TCP_SYN | TCP_ACK)
+    parsed = TCPHeader.parse(header.packed())
+    assert parsed.src_port == 5001
+    assert parsed.dst_port == 80
+    assert parsed.seq == 1000
+    assert parsed.ack == 2000
+    assert "SYN" in parsed.flag_names() and "ACK" in parsed.flag_names()
+
+
+def test_tcp_checksum_roundtrip():
+    src, dst = IPv4Address("10.0.0.1"), IPv4Address("10.0.0.2")
+    header = TCPHeader(1234, 80, seq=7)
+    wire = header.packed_with_checksum(src, dst, b"hello")
+    parsed = TCPHeader.parse(wire)
+    assert parsed.verify_checksum(src, dst, b"hello")
+    assert not parsed.verify_checksum(src, dst, b"Hello")
+
+
+def test_tcp_rejects_bad_ports():
+    with pytest.raises(ValueError):
+        TCPHeader(70000, 80)
+
+
+def test_tcp_seq_wraps_mod_2_32():
+    header = TCPHeader(1, 2, seq=(1 << 32) + 5)
+    assert header.seq == 5

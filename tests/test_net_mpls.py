@@ -1,0 +1,84 @@
+"""Tests for MPLS label encoding and packet-level label operations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net import mpls
+from repro.net.ethernet import ETHERTYPE_IPV4
+from repro.net.packet import make_tcp_packet
+
+
+def test_header_roundtrip():
+    header = mpls.MPLSHeader(label=1000, tc=5, bottom=True, ttl=30)
+    parsed = mpls.MPLSHeader.parse(header.packed())
+    assert parsed == header
+
+
+@given(
+    label=st.integers(0, mpls.MAX_LABEL),
+    tc=st.integers(0, 7),
+    bottom=st.booleans(),
+    ttl=st.integers(0, 255),
+)
+def test_header_roundtrip_property(label, tc, bottom, ttl):
+    header = mpls.MPLSHeader(label, tc, bottom, ttl)
+    assert mpls.MPLSHeader.parse(header.packed()) == header
+
+
+def test_header_field_validation():
+    with pytest.raises(ValueError):
+        mpls.MPLSHeader(1 << 20)
+    with pytest.raises(ValueError):
+        mpls.MPLSHeader(1, tc=8)
+    with pytest.raises(ValueError):
+        mpls.MPLSHeader(1, ttl=256)
+
+
+def test_stack_roundtrip_sets_bottom_bit():
+    labels = [mpls.MPLSHeader(100), mpls.MPLSHeader(200), mpls.MPLSHeader(300)]
+    wire = mpls.pack_stack(labels)
+    parsed = mpls.parse_stack(wire)
+    assert [h.label for h in parsed] == [100, 200, 300]
+    assert [h.bottom for h in parsed] == [False, False, True]
+
+
+def test_parse_stack_requires_bottom():
+    entry = mpls.MPLSHeader(100, bottom=False)
+    with pytest.raises(ValueError):
+        mpls.parse_stack(entry.packed())
+
+
+def test_push_pop_swap_on_packet():
+    packet = make_tcp_packet("1.1.1.1", "2.2.2.2", ttl=40)
+    mpls.push(packet, 500)
+    assert packet.eth.ethertype == mpls.ETHERTYPE_MPLS
+    assert mpls.top_label(packet) == 500
+    # TTL copied from IP at first push.
+    assert mpls.label_stack(packet)[0].ttl == 40
+
+    old = mpls.swap(packet, 777)
+    assert old.label == 500
+    assert mpls.top_label(packet) == 777
+    assert mpls.label_stack(packet)[0].ttl == 39  # decremented by swap
+
+    popped = mpls.pop(packet)
+    assert popped.label == 777
+    assert mpls.top_label(packet) is None
+    assert packet.eth.ethertype == ETHERTYPE_IPV4
+
+
+def test_nested_push_preserves_inner_ttl():
+    packet = make_tcp_packet("1.1.1.1", "2.2.2.2", ttl=20)
+    mpls.push(packet, 100)
+    mpls.push(packet, 200)
+    stack = mpls.label_stack(packet)
+    assert [h.label for h in stack] == [200, 100]
+    assert stack[0].ttl == stack[1].ttl == 20
+
+
+def test_pop_swap_on_empty_stack_rejected():
+    packet = make_tcp_packet("1.1.1.1", "2.2.2.2")
+    with pytest.raises(ValueError):
+        mpls.pop(packet)
+    with pytest.raises(ValueError):
+        mpls.swap(packet, 1)

@@ -1,0 +1,147 @@
+"""Tests for the routing table (CPE trie), route cache and hardware hash."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net import IPv4Address, RouteCache, RoutingTable
+from repro.net.routing import hardware_hash
+
+
+def build_basic_table():
+    table = RoutingTable()
+    table.add_default(9)
+    table.add("10.0.0.0", 8, 1)
+    table.add("10.1.0.0", 16, 2)
+    table.add("10.1.2.0", 24, 3)
+    table.add("10.1.2.3", 32, 4)
+    table.add("192.168.0.0", 16, 5)
+    return table
+
+
+def test_longest_prefix_wins():
+    table = build_basic_table()
+    assert table.lookup(IPv4Address("10.1.2.3")).out_port == 4
+    assert table.lookup(IPv4Address("10.1.2.9")).out_port == 3
+    assert table.lookup(IPv4Address("10.1.9.9")).out_port == 2
+    assert table.lookup(IPv4Address("10.9.9.9")).out_port == 1
+    assert table.lookup(IPv4Address("192.168.77.1")).out_port == 5
+    assert table.lookup(IPv4Address("8.8.8.8")).out_port == 9
+
+
+def test_default_route_only():
+    table = RoutingTable()
+    table.add_default(2)
+    assert table.lookup(IPv4Address("1.2.3.4")).out_port == 2
+
+
+def test_empty_table_returns_none():
+    table = RoutingTable()
+    assert table.lookup(IPv4Address("1.2.3.4")) is None
+
+
+def test_insert_order_does_not_matter():
+    specs = [("10.0.0.0", 8, 1), ("10.1.0.0", 16, 2), ("10.1.2.0", 24, 3)]
+    probes = ["10.1.2.5", "10.1.5.5", "10.5.5.5"]
+    for ordering in ([0, 1, 2], [2, 1, 0], [1, 2, 0]):
+        table = RoutingTable()
+        for i in ordering:
+            table.add(*specs[i])
+        assert [table.lookup(IPv4Address(p)).out_port for p in probes] == [3, 2, 1]
+
+
+def test_bad_strides_rejected():
+    with pytest.raises(ValueError):
+        RoutingTable(strides=(16, 8))
+    with pytest.raises(ValueError):
+        RoutingTable(strides=(16, 8, 0, 8))
+
+
+def test_bad_prefix_length_rejected():
+    with pytest.raises(ValueError):
+        RoutingTable().add("1.2.3.4", 40, 0)
+
+
+def test_alternate_strides_agree():
+    table_a = RoutingTable(strides=(16, 8, 8))
+    table_b = RoutingTable(strides=(8, 8, 8, 8))
+    for spec in [("10.0.0.0", 8, 1), ("10.128.0.0", 9, 2), ("10.1.2.0", 23, 3)]:
+        table_a.add(*spec)
+        table_b.add(*spec)
+    for probe in ["10.0.0.1", "10.128.1.1", "10.1.3.9", "10.1.2.1", "11.0.0.1"]:
+        addr = IPv4Address(probe)
+        a = table_a.lookup(addr)
+        b = table_b.lookup(addr)
+        assert (a.out_port if a else None) == (b.out_port if b else None)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    routes=st.lists(
+        st.tuples(st.integers(0, 0xFFFFFFFF), st.integers(0, 32), st.integers(0, 15)),
+        min_size=0,
+        max_size=20,
+    ),
+    probes=st.lists(st.integers(0, 0xFFFFFFFF), min_size=1, max_size=20),
+)
+def test_trie_matches_linear_scan(routes, probes):
+    """The CPE trie must agree with a brute-force longest-prefix match for
+    arbitrary route sets (equal-length duplicates may legally tie either
+    way, so compare prefix lengths, and ports only when unambiguous)."""
+    table = RoutingTable()
+    for value, length, port in routes:
+        masked = value & (0xFFFFFFFF << (32 - length)) if length else 0
+        table.add(str(IPv4Address(masked)), length, port)
+    for probe in probes:
+        addr = IPv4Address(probe)
+        trie = table.lookup(addr)
+        linear = table.lookup_linear(addr)
+        if linear is None:
+            assert trie is None
+        else:
+            assert trie is not None
+            assert trie.matches(addr)
+            assert trie.length == linear.length
+
+
+def test_hardware_hash_range_and_determinism():
+    values = [hardware_hash(v, 10) for v in range(1000)]
+    assert all(0 <= v < 1024 for v in values)
+    assert hardware_hash(12345, 10) == hardware_hash(12345, 10)
+    # Spread: at least half the buckets touched by 1000 sequential keys.
+    assert len(set(values)) > 512
+
+
+def test_route_cache_miss_then_hit():
+    table = build_basic_table()
+    cache = RouteCache(table, size_bits=8)
+    addr = IPv4Address("10.1.2.3")
+    assert cache.lookup(addr) is None  # cold miss -> exceptional path
+    assert cache.fill(addr).out_port == 4
+    assert cache.lookup(addr).out_port == 4
+    assert cache.hits == 1 and cache.misses == 1
+    assert cache.hit_rate == 0.5
+
+
+def test_route_cache_invalidated_by_table_update():
+    table = build_basic_table()
+    cache = RouteCache(table, size_bits=8)
+    addr = IPv4Address("10.1.2.3")
+    cache.fill(addr)
+    assert cache.lookup(addr) is not None
+    table.add("10.1.2.3", 32, 7)  # route change bumps the generation
+    assert cache.lookup(addr) is None  # stale entry must not be served
+    assert cache.fill(addr).out_port == 7
+
+
+def test_route_cache_fill_unroutable_returns_none():
+    cache = RouteCache(RoutingTable())
+    assert cache.fill(IPv4Address("9.9.9.9")) is None
+
+
+def test_route_cache_warm_and_invalidate():
+    table = build_basic_table()
+    cache = RouteCache(table)
+    cache.warm(["10.1.2.3", "192.168.0.1"])
+    assert cache.lookup(IPv4Address("10.1.2.3")) is not None
+    cache.invalidate()
+    assert cache.lookup(IPv4Address("10.1.2.3")) is None

@@ -1,0 +1,226 @@
+"""Property-based tests on core invariants (hypothesis).
+
+These complement the per-module unit tests with randomized checks of the
+data structures the router's correctness rests on: the event queue's
+ordering, queue conservation, the stride scheduler's fairness bounds,
+packet codec roundtrips, the VRP cost algebra, and the ISTORE layout.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import Delay, Simulator
+from repro.core.vrp import HashOp, RegOps, SramRead, SramWrite, VRPProgram
+from repro.hosts.scheduling import StrideScheduler
+from repro.ixp.istore import InstructionStore, IStoreError
+from repro.ixp.queues import PacketQueue
+from repro.net.packet import Packet, make_tcp_packet
+
+
+# -- simulator ordering --------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(delays=st.lists(st.integers(0, 1000), min_size=1, max_size=40))
+def test_events_fire_in_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append((sim.now, d)))
+    sim.run()
+    times = [t for t, __ in fired]
+    assert times == sorted(times)
+    assert all(t == d for t, d in fired)
+    assert len(fired) == len(delays)
+
+
+@settings(max_examples=40, deadline=None)
+@given(busy=st.lists(st.integers(1, 50), min_size=1, max_size=12))
+def test_resource_serializes_total_time(busy):
+    """A capacity-1 resource serializes: completion = sum of hold times."""
+    sim = Simulator()
+    resource = sim.resource(capacity=1)
+
+    def user(hold):
+        yield resource.acquire()
+        yield Delay(hold)
+        resource.release()
+
+    for hold in busy:
+        sim.spawn(user(hold))
+    sim.run()
+    assert sim.now == sum(busy)
+
+
+# -- queue conservation ------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    capacity=st.integers(1, 32),
+    ops=st.lists(st.booleans(), max_size=100),  # True=enqueue, False=dequeue
+)
+def test_queue_conservation(capacity, ops):
+    from repro.ixp.buffers import BufferHandle
+    from repro.ixp.queues import PacketDescriptor
+
+    queue = PacketQueue(0, 0, capacity=capacity)
+    model_depth = 0
+    for is_enqueue in ops:
+        if is_enqueue:
+            ok = queue.enqueue(PacketDescriptor(BufferHandle(0, 1), None, 1, 0, 0))
+            if model_depth < capacity:
+                assert ok
+                model_depth += 1
+            else:
+                assert not ok
+        else:
+            got = queue.dequeue()
+            if model_depth:
+                assert got is not None
+                model_depth -= 1
+            else:
+                assert got is None
+        assert len(queue) == model_depth
+        assert len(queue) <= capacity
+    assert queue.enqueued == queue.dequeued + len(queue)
+    assert queue.enqueued + queue.dropped == sum(1 for op in ops if op)
+
+
+# -- stride scheduler fairness -----------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    tickets=st.tuples(st.integers(1, 500), st.integers(1, 500)),
+    rounds=st.integers(50, 300),
+)
+def test_stride_fairness_bound(tickets, rounds):
+    """With both flows always backlogged, realized service proportions
+    track ticket proportions within a small absolute error."""
+    scheduler = StrideScheduler(queue_capacity=10_000)
+    scheduler.add_flow("a", tickets[0])
+    scheduler.add_flow("b", tickets[1])
+    for i in range(rounds * 2):
+        scheduler.enqueue("a", i)
+        scheduler.enqueue("b", i)
+    served = {"a": 0, "b": 0}
+    for __ in range(rounds):
+        name, __item = scheduler.select()
+        scheduler.charge(name, 10)
+        served[name] += 1
+    expected_a = rounds * tickets[0] / sum(tickets)
+    # Stride scheduling's lag bound is O(1) service quanta; allow a
+    # small absolute band plus rounding.
+    assert abs(served["a"] - expected_a) <= max(3, 0.05 * rounds)
+
+
+# -- packet codec roundtrips -----------------------------------------------------------
+
+
+ip_octet = st.integers(0, 255)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    src=st.tuples(ip_octet, ip_octet, ip_octet, ip_octet),
+    dst=st.tuples(ip_octet, ip_octet, ip_octet, ip_octet),
+    sport=st.integers(0, 65535),
+    dport=st.integers(0, 65535),
+    ttl=st.integers(1, 255),
+    seq=st.integers(0, 2**32 - 1),
+    payload=st.binary(max_size=600),
+)
+def test_packet_wire_roundtrip_property(src, dst, sport, dport, ttl, seq, payload):
+    packet = make_tcp_packet(
+        ".".join(map(str, src)), ".".join(map(str, dst)),
+        sport, dport, ttl=ttl, seq=seq, payload=payload,
+    )
+    parsed = Packet.from_bytes(packet.to_bytes())
+    assert parsed.ip.src == packet.ip.src
+    assert parsed.ip.dst == packet.ip.dst
+    assert parsed.tcp.src_port == sport
+    assert parsed.tcp.dst_port == dport
+    assert parsed.tcp.seq == seq
+    assert parsed.ip.ttl == ttl
+    assert parsed.payload == payload
+    ok, reason = parsed.ip.validate()
+    assert ok, reason
+    assert parsed.tcp.verify_checksum(parsed.ip.src, parsed.ip.dst, parsed.payload)
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=st.binary(min_size=0, max_size=64))
+def test_arbitrary_bytes_never_crash_parser(data):
+    """Malformed frames must raise ValueError, never anything else."""
+    try:
+        Packet.from_bytes(data)
+    except ValueError:
+        pass
+
+
+# -- VRP cost algebra --------------------------------------------------------------------
+
+
+op_strategy = st.one_of(
+    st.builds(RegOps, st.integers(1, 50)),
+    st.builds(SramRead, st.integers(1, 4)),
+    st.builds(SramWrite, st.integers(1, 4)),
+    st.builds(HashOp, st.integers(1, 3)),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops_a=st.lists(op_strategy, min_size=1, max_size=8),
+       ops_b=st.lists(op_strategy, min_size=1, max_size=8))
+def test_vrp_cost_is_additive_under_concat(ops_a, ops_b):
+    a = VRPProgram("a", ops_a)
+    b = VRPProgram("b", ops_b)
+    combined = VRPProgram.concat("ab", [a, b])
+    ca, cb, cc = a.cost(), b.cost(), combined.cost()
+    assert cc.cycles == ca.cycles + cb.cycles
+    assert cc.sram_bytes == ca.sram_bytes + cb.sram_bytes
+    assert cc.hashes == ca.hashes + cb.hashes
+    assert combined.instruction_count() == a.instruction_count() + b.instruction_count()
+    assert combined.register_op_count() == a.register_op_count() + b.register_op_count()
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=st.lists(op_strategy, min_size=1, max_size=10))
+def test_vrp_timed_compilation_consistent(ops):
+    program = VRPProgram("p", ops)
+    timed = program.to_timed()
+    cost = program.cost()
+    assert timed.sram_reads + timed.sram_writes == cost.sram_transfers
+    assert timed.hashes == cost.hashes
+    assert timed.reg_cycles == program.register_op_count() + cost.hashes
+
+
+# -- ISTORE layout invariants ----------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    installs=st.lists(
+        st.tuples(st.booleans(), st.integers(1, 120)),  # (is_general, length)
+        max_size=12,
+    ),
+)
+def test_istore_segments_never_overlap(installs):
+    store = InstructionStore()
+    for i, (is_general, length) in enumerate(installs):
+        try:
+            if is_general:
+                store.install_general(f"g{i}", length)
+            else:
+                store.install_per_flow(f"p{i}", length)
+        except IStoreError:
+            continue
+    segments = sorted(
+        (offset, offset + length) for offset, length, __ in store.installed().values()
+    )
+    for (__, end_a), (start_b, __b) in zip(segments, segments[1:]):
+        assert end_a <= start_b  # disjoint
+    for start, end in segments:
+        assert store.ext_base <= start and end <= store.capacity
+    assert store.free_slots >= 0

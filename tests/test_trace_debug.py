@@ -1,0 +1,170 @@
+"""Tests for trace capture/replay and the pipeline profiler."""
+
+import io
+
+import pytest
+
+from repro import Router
+from repro.ixp.debug import format_timeline, latency_report, stage_breakdown, stamps_of, total_latency
+from repro.net.trace import TraceCapture, TraceRecord, load_trace, replay, save_trace
+from repro.net.traffic import flow_stream, take, uniform_flood
+
+
+def booted():
+    router = Router()
+    for port in range(10):
+        router.add_route(f"10.{port}.0.0", 16, port)
+    return router
+
+
+# -- trace format -----------------------------------------------------------------
+
+
+def make_records(n=5):
+    packets = take(uniform_flood(n, num_ports=4), n)
+    return [
+        TraceRecord(timestamp=i * 1000, port=i % 3, frame=p.to_bytes())
+        for i, p in enumerate(packets)
+    ]
+
+
+def test_trace_roundtrip_in_memory():
+    records = make_records()
+    buffer = io.BytesIO()
+    assert save_trace(buffer, records) == 5
+    buffer.seek(0)
+    loaded = load_trace(buffer)
+    assert loaded == records
+
+
+def test_trace_roundtrip_on_disk(tmp_path):
+    path = str(tmp_path / "flows.rprt")
+    records = make_records(3)
+    save_trace(path, records)
+    assert load_trace(path) == records
+
+
+def test_trace_record_parses_packet():
+    record = make_records(1)[0]
+    packet = record.parse()
+    assert packet.arrival_port == record.port
+    assert packet.to_bytes() == record.frame
+
+
+def test_trace_rejects_garbage():
+    with pytest.raises(ValueError):
+        load_trace(io.BytesIO(b"NOPE" + b"\x00" * 10))
+    with pytest.raises(ValueError):
+        load_trace(io.BytesIO(b""))
+    good = io.BytesIO()
+    save_trace(good, make_records(2))
+    truncated = io.BytesIO(good.getvalue()[:-5])
+    with pytest.raises(ValueError):
+        load_trace(truncated)
+
+
+def test_replay_delivers_at_recorded_times():
+    router = booted()
+    packets = take(uniform_flood(4, num_ports=2), 4)
+    router.warm_route_cache([p.ip.dst for p in packets])
+    records = [
+        TraceRecord(timestamp=20_000 * i, port=4, frame=p.to_bytes())
+        for i, p in enumerate(packets)
+    ]
+    replay(router, records)
+    router.run(900_000)
+    out = router.transmitted()
+    assert len(out) == 4
+    arrivals = sorted(p.meta["t_arrived"] for p in out)
+    gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+    assert all(abs(g - 20_000) < 500 for g in gaps)
+
+
+def test_capture_records_egress():
+    router = booted()
+    capture = TraceCapture(router.sim, [router.ports[1]])
+    packets = take(flow_stream(5, out_port=1, payload_len=6), 5)
+    router.warm_route_cache([p.ip.dst for p in packets])
+    router.inject(0, iter(packets))
+    router.run(900_000)
+    assert len(capture) == 5
+    assert all(r.port == 1 for r in capture.records)
+    times = [r.timestamp for r in capture.records]
+    assert times == sorted(times)
+    # Captured frames parse back into the (TTL-decremented) packets.
+    parsed = capture.records[0].parse()
+    assert parsed.ip.ttl == 63
+
+
+def test_capture_save(tmp_path):
+    router = booted()
+    capture = TraceCapture(router.sim, router.ports)
+    packets = take(uniform_flood(4, num_ports=4), 4)
+    router.warm_route_cache([p.ip.dst for p in packets])
+    router.inject(9, iter(packets))
+    router.run(900_000)
+    path = str(tmp_path / "egress.rprt")
+    assert capture.save(path) == 4
+    assert len(load_trace(path)) == 4
+
+
+# -- pipeline profiler ---------------------------------------------------------------
+
+
+def forwarded_packets():
+    router = booted()
+    packets = take(uniform_flood(6, num_ports=3), 6)
+    router.warm_route_cache([p.ip.dst for p in packets])
+    router.inject(9, iter(packets))
+    router.run(900_000)
+    return router.transmitted()
+
+
+def test_milestones_recorded_in_order():
+    for packet in forwarded_packets():
+        stamps = dict(stamps_of(packet))
+        assert "MAC arrival" in stamps
+        assert "classified" in stamps
+        assert "enqueued" in stamps
+        assert "transmitted" in stamps
+        assert stamps["MAC arrival"] <= stamps["classified"] <= stamps["enqueued"] <= stamps["transmitted"]
+
+
+def test_latency_report_statistics():
+    packets = forwarded_packets()
+    report = latency_report(packets)
+    assert report["count"] == len(packets)
+    assert 0 < report["min_cycles"] <= report["p50_cycles"] <= report["max_cycles"]
+    assert report["mean_us"] > 0
+
+
+def test_latency_report_empty():
+    assert latency_report([]) == {"count": 0}
+
+
+def test_exceptional_packet_timeline_includes_strongarm():
+    router = booted()
+    packets = take(uniform_flood(2, num_ports=1), 2)  # cold cache -> SA
+    router.inject(9, iter(packets))
+    router.run(2_000_000)
+    out = router.transmitted()
+    assert out
+    stamps = dict(stamps_of(out[0]))
+    assert "StrongARM" in stamps
+    text = format_timeline(out[0])
+    assert "StrongARM" in text and "transmitted" in text
+
+
+def test_stage_breakdown_keys():
+    packets = forwarded_packets()
+    breakdown = stage_breakdown(packets)
+    assert "MAC arrival -> classified" in breakdown
+    assert all(v >= 0 for v in breakdown.values())
+
+
+def test_total_latency_none_without_stamps():
+    from repro.net.packet import make_tcp_packet
+
+    assert total_latency(make_tcp_packet("1.1.1.1", "2.2.2.2")) is None
+    text = format_timeline(make_tcp_packet("1.1.1.1", "2.2.2.2"))
+    assert "no milestones" in text
