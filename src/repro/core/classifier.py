@@ -57,6 +57,13 @@ class FlowTable:
         self._per_flow: Dict[Tuple, FlowEntry] = {}
         self._general: List[FlowEntry] = []
         self._by_fid: Dict[int, FlowEntry] = {}
+        self._listeners: List = []
+
+    def add_listener(self, callback) -> None:
+        """Register an invalidation callback fired on every add/remove
+        (classifiers subscribe so lookups can be memoized without a
+        per-packet staleness check)."""
+        self._listeners.append(callback)
 
     def add(self, key, spec: ForwarderSpec, sram_addr: int = 0, istore_offset: int = 0) -> FlowEntry:
         entry = FlowEntry(
@@ -75,6 +82,8 @@ class FlowTable:
                 raise ValueError(f"flow {key} already has a per-flow forwarder")
             self._per_flow[tuple_key] = entry
         self._by_fid[entry.fid] = entry
+        for callback in self._listeners:
+            callback()
         return entry
 
     def remove(self, fid: int) -> FlowEntry:
@@ -85,6 +94,8 @@ class FlowTable:
             self._general.remove(entry)
         else:
             del self._per_flow[tuple(entry.key)]
+        for callback in self._listeners:
+            callback()
         return entry
 
     def get(self, fid: int) -> FlowEntry:
@@ -116,11 +127,17 @@ class Classifier:
         self.validated = 0
         self.validation_failures = 0
         self._timed_cache: Dict[Tuple, TimedVRP] = {}
+        self._flow_memo: Dict[Tuple, Optional[FlowEntry]] = {}
         self._generation = 0
+        # Table mutations (install/remove from any path) clear the memo,
+        # so the per-packet lookup needs no staleness check.
+        flow_table.add_listener(self.invalidate)
 
     def invalidate(self) -> None:
-        """Flow table changed: recompile cached VRP timings."""
+        """Flow table changed: recompile cached VRP timings and drop the
+        memoized flow-key matches."""
         self._timed_cache.clear()
+        self._flow_memo.clear()
         self._generation += 1
 
     # -- functional path ---------------------------------------------------------
@@ -132,7 +149,14 @@ class Classifier:
         if not ok:
             self.validation_failures += 1
             return {"drop": True, "reason": reason}
-        per_flow = self.flow_table.match_per_flow(packet.flow_key())
+        flow_key = packet.flow_key()
+        memo_key = tuple(flow_key)
+        memo = self._flow_memo
+        if memo_key in memo:
+            per_flow = memo[memo_key]
+        else:
+            per_flow = self.flow_table.match_per_flow(flow_key)
+            memo[memo_key] = per_flow
         if per_flow is not None:
             per_flow.packets_matched += 1
             if per_flow.spec.where is not Where.ME:

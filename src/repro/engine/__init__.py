@@ -18,12 +18,14 @@ from repro.engine.sim import (
     Signal,
     SimulationError,
     Simulator,
+    delay,
 )
 from repro.engine.stats import Counter, Histogram, RateMeter, StatSet, TimeWeighted
 
 __all__ = [
     "Counter",
     "Delay",
+    "delay",
     "Event",
     "Histogram",
     "Interrupt",

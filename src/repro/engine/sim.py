@@ -11,13 +11,43 @@ Processes are Python generators that yield *commands*:
 The simulator advances time only through the event queue; there is no
 wall-clock component, so runs are fully deterministic given deterministic
 process code.
+
+Ordering contract (relied on by every hardware model): events execute in
+``(cycle, seq)`` order, where ``seq`` is a global insertion counter.  In
+particular, events scheduled for the same cycle run FIFO in the order
+they were scheduled, including events scheduled *during* that cycle.
+
+Two scheduler implementations provide this contract:
+
+* ``"calendar"`` (default) -- a two-tier structure: a calendar ring of
+  near-future cycle buckets (same-cycle wakes are O(1) appends, no heap
+  churn) backed by a binary heap for far-future events.
+* ``"heap"`` -- the original single binary heap, kept as a reference so
+  the determinism suite can assert both produce bit-identical runs.
+
+Select with ``Simulator(scheduler=...)`` or the ``REPRO_SIM_SCHEDULER``
+environment variable.
 """
 
 from __future__ import annotations
 
-import heapq
-from collections import deque
+import gc
+import os
+from heapq import heappop, heappush
 from typing import Any, Callable, Deque, Generator, Iterable, List, Optional, Tuple
+
+from collections import deque
+
+# Calendar ring geometry: delays shorter than the ring go into per-cycle
+# buckets; longer ones overflow to the far-future heap.
+_RING_BITS = 10
+_RING_SIZE = 1 << _RING_BITS
+_RING_MASK = _RING_SIZE - 1
+
+
+# Sentinel marking a ring-bucket entry as a plain callback rather than a
+# process wake (the entry is then ``(callback, _CALLBACK)``).
+_CALLBACK = object()
 
 
 class SimulationError(RuntimeError):
@@ -50,6 +80,18 @@ class Delay:
         return f"Delay({self.cycles})"
 
 
+# Delay instances are immutable, so the hot paths share one instance per
+# small cycle count instead of allocating a fresh command per yield.
+_DELAY_CACHE: Tuple[Delay, ...] = tuple(Delay(i) for i in range(_RING_SIZE))
+
+
+def delay(cycles: int) -> Delay:
+    """Cached :class:`Delay` factory for hot paths."""
+    if 0 <= cycles < _RING_SIZE:
+        return _DELAY_CACHE[cycles]
+    return Delay(cycles)
+
+
 class Event:
     """One-shot event.  Waiters resume when :meth:`succeed` is called.
 
@@ -80,8 +122,8 @@ class Event:
         self._done = True
         self._value = value
         waiters, self._waiters = self._waiters, []
-        for proc in waiters:
-            self.sim._resume(proc, value)
+        if waiters:
+            self.sim._resume_many(waiters, value)
 
     def _wait(self, proc: "Process") -> None:
         if self._done:
@@ -110,11 +152,15 @@ class Signal:
         self.fire_count = 0
 
     def fire(self, value: Any = None) -> int:
-        """Wake all current waiters; returns the number woken."""
+        """Wake all current waiters; returns the number woken.
+
+        All waiters land on the same cycle, so they are dispatched as one
+        batch (a single bucket extension, no per-waiter heap traffic).
+        """
         self.fire_count += 1
         waiters, self._waiters = self._waiters, []
-        for proc in waiters:
-            self.sim._resume(proc, value)
+        if waiters:
+            self.sim._resume_many(waiters, value)
         return len(waiters)
 
     def _wait(self, proc: "Process") -> None:
@@ -143,7 +189,10 @@ class Resource:
     (a plain call, not a yield -- releasing costs no simulated time).
     """
 
-    __slots__ = ("sim", "capacity", "in_use", "_queue", "name", "total_waits", "total_wait_cycles")
+    __slots__ = (
+        "sim", "capacity", "in_use", "_queue", "name",
+        "total_waits", "total_wait_cycles", "_acquire_command",
+    )
 
     def __init__(self, sim: "Simulator", capacity: int = 1, name: str = ""):
         if capacity < 1:
@@ -155,9 +204,12 @@ class Resource:
         self._queue: Deque[Tuple["Process", int]] = deque()
         self.total_waits = 0
         self.total_wait_cycles = 0
+        # The command is stateless, so one shared instance serves every
+        # acquire() of this resource.
+        self._acquire_command = _AcquireCommand(self)
 
     def acquire(self) -> _AcquireCommand:
-        return _AcquireCommand(self)
+        return self._acquire_command
 
     @property
     def available(self) -> int:
@@ -168,9 +220,20 @@ class Resource:
         return len(self._queue)
 
     def _request(self, proc: "Process") -> None:
+        # Grant/defer; the grant inlines Simulator._resume (hot path).
         if self.in_use < self.capacity and not self._queue:
             self.in_use += 1
-            self.sim._resume(proc, self)
+            proc._waiting_on = None
+            sim = self.sim
+            if sim._use_ring:
+                bucket = sim._ring[sim.now & _RING_MASK]
+                if not bucket:
+                    heappush(sim._ring_cycles, sim.now)
+                bucket.append((proc, self))
+            else:
+                seq = sim._seq + 1
+                sim._seq = seq
+                heappush(sim._heap, (sim.now, seq, proc, self, None))
         else:
             self.total_waits += 1
             self._queue.append((proc, self.sim.now))
@@ -181,8 +244,18 @@ class Resource:
             raise SimulationError(f"release of idle resource {self.name!r}")
         if self._queue:
             proc, enq_time = self._queue.popleft()
-            self.total_wait_cycles += self.sim.now - enq_time
-            self.sim._resume(proc, self)
+            sim = self.sim
+            self.total_wait_cycles += sim.now - enq_time
+            proc._waiting_on = None
+            if sim._use_ring:
+                bucket = sim._ring[sim.now & _RING_MASK]
+                if not bucket:
+                    heappush(sim._ring_cycles, sim.now)
+                bucket.append((proc, self))
+            else:
+                seq = sim._seq + 1
+                sim._seq = seq
+                heappush(sim._heap, (sim.now, seq, proc, self, None))
         else:
             self.in_use -= 1
 
@@ -226,7 +299,7 @@ class Process:
             waiting_on._cancel(self)
         self._waiting_on = None
         self._interrupted = True
-        self.sim.schedule(0, lambda: self.sim._step(self, cause))
+        self.sim._schedule_step(0, self, cause)
 
     def _wait(self, proc: "Process") -> None:
         # Support `yield other_process` as a join.
@@ -244,8 +317,8 @@ class Process:
         self._alive = False
         self._result = result
         joiners, self._joiners = self._joiners, []
-        for j in joiners:
-            self.sim._resume(j, result)
+        if joiners:
+            self.sim._resume_many(joiners, result)
 
     def __repr__(self) -> str:
         state = "alive" if self._alive else "done"
@@ -253,14 +326,36 @@ class Process:
 
 
 class Simulator:
-    """The event loop.  Time is an integer cycle count starting at zero."""
+    """The event loop.  Time is an integer cycle count starting at zero.
 
-    def __init__(self):
+    Queue entries are plain tuples, so the hot paths never allocate
+    closures.  Ring buckets hold ``(proc, value)`` pairs -- or
+    ``(callback, _CALLBACK)`` for plain callbacks -- with *no* sequence
+    number: appends already happen in schedule order, and far-future
+    heap events maturing into a bucket were necessarily scheduled at
+    least ``_RING_SIZE`` cycles earlier than every ring entry for that
+    cycle, so merging them is a plain prepend.  The far-future heap
+    holds ``(when, seq, proc, value, callback)`` where ``seq`` breaks
+    same-cycle ties among heap entries only.
+    """
+
+    def __init__(self, scheduler: Optional[str] = None):
+        if scheduler is None:
+            scheduler = os.environ.get("REPRO_SIM_SCHEDULER", "calendar")
+        if scheduler not in ("calendar", "heap"):
+            raise SimulationError(f"unknown scheduler {scheduler!r} (use 'calendar' or 'heap')")
+        self.scheduler = scheduler
+        self._use_ring = scheduler == "calendar"
         self.now: int = 0
-        self._heap: List[Tuple[int, int, Callable[[], None]]] = []
         self._seq = 0
         self._events_processed = 0
         self._stopped = False
+        self._heap: List[tuple] = []
+        if self._use_ring:
+            self._ring: List[list] = [[] for __ in range(_RING_SIZE)]
+            # Min-heap of cycles that currently have a non-empty bucket;
+            # one entry per pending cycle, not per event.
+            self._ring_cycles: List[int] = []
 
     # -- event queue ------------------------------------------------------
 
@@ -268,8 +363,29 @@ class Simulator:
         """Run ``callback`` ``delay`` cycles from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, callback))
+        when = self.now + delay
+        if self._use_ring and delay < _RING_SIZE:
+            bucket = self._ring[when & _RING_MASK]
+            if not bucket:
+                heappush(self._ring_cycles, when)
+            bucket.append((callback, _CALLBACK))
+        else:
+            seq = self._seq + 1
+            self._seq = seq
+            heappush(self._heap, (when, seq, None, None, callback))
+
+    def _schedule_step(self, delay: int, proc: "Process", value: Any) -> None:
+        """Schedule ``self._step(proc, value)`` without allocating a closure."""
+        when = self.now + delay
+        if self._use_ring and delay < _RING_SIZE:
+            bucket = self._ring[when & _RING_MASK]
+            if not bucket:
+                heappush(self._ring_cycles, when)
+            bucket.append((proc, value))
+        else:
+            seq = self._seq + 1
+            self._seq = seq
+            heappush(self._heap, (when, seq, proc, value, None))
 
     def stop(self) -> None:
         """Stop :meth:`run` after the current callback returns."""
@@ -280,15 +396,151 @@ class Simulator:
         reached, or ``max_events`` callbacks have run.  Returns ``now``.
         """
         self._stopped = False
+        # The hot loop allocates short-lived tuples and generator frames
+        # that are all refcount-collected; cyclic collector passes only
+        # add pauses, so GC is suspended for the duration of the run.
+        gc_enabled = gc.isenabled()
+        if gc_enabled:
+            gc.disable()
+        try:
+            if self._use_ring:
+                return self._run_ring(until, max_events)
+            return self._run_heap(until, max_events)
+        finally:
+            if gc_enabled:
+                gc.enable()
+
+    def _run_ring(self, until: Optional[int], max_events: Optional[int]) -> int:
+        heap = self._heap
+        ring = self._ring
+        cycles = self._ring_cycles
         count = 0
-        while self._heap and not self._stopped:
-            when, __, callback = self._heap[0]
+        # ``max_events=0`` (or negative) still runs one event, exactly
+        # like the original ``count >= max_events`` post-check; -1 means
+        # unlimited (plain int compare, never equal to a positive count).
+        if max_events is None:
+            limit = -1
+        else:
+            limit = max_events if max_events > 0 else 1
+        while not self._stopped:
+            when = self.now
+            bucket = ring[when & _RING_MASK]
+            if bucket:
+                # Leftovers from a stopped/limited run at the current
+                # cycle; a marker may or may not still be pending.
+                if until is not None and when > until:
+                    self.now = until
+                    break
+                if cycles and cycles[0] == when:
+                    heappop(cycles)
+            else:
+                ring_when = cycles[0] if cycles else -1
+                heap_when = heap[0][0] if heap else -1
+                if ring_when < 0 and heap_when < 0:
+                    if until is not None:
+                        self.now = max(self.now, until)
+                    break
+                if ring_when >= 0 and (heap_when < 0 or ring_when <= heap_when):
+                    when = ring_when
+                else:
+                    when = heap_when
+                if until is not None and when > until:
+                    self.now = until
+                    break
+                if cycles and cycles[0] == when:
+                    heappop(cycles)
+                bucket = ring[when & _RING_MASK]
+                self.now = when
+            # Merge matured far-future events into this cycle's bucket.
+            # A heap entry for this cycle was scheduled >= _RING_SIZE
+            # cycles ago, i.e. before every ring entry waiting here, so
+            # the matured batch (popped in seq order) simply prepends.
+            if heap and heap[0][0] == when:
+                matured = []
+                while heap and heap[0][0] == when:
+                    item = heappop(heap)
+                    proc = item[2]
+                    if proc is not None:
+                        matured.append((proc, item[3]))
+                    else:
+                        matured.append((item[4], _CALLBACK))
+                bucket[:0] = matured
+            # Drain the bucket FIFO; the list iterator picks up
+            # same-cycle wakes appended while draining.  The body of
+            # :meth:`_step` (and its Delay fast path) is inlined here --
+            # one generator resume plus a bucket append per event, with
+            # no intermediate Python calls.
+            i = 0
+            limited = False
+            for proc, value in bucket:
+                i += 1
+                if value is not _CALLBACK:
+                    if proc._alive:
+                        try:
+                            if proc._interrupted:
+                                proc._interrupted = False
+                                command = proc.gen.throw(Interrupt(value))
+                            else:
+                                command = proc.gen.send(value)
+                        except StopIteration as stop:
+                            proc._finish(stop.value)
+                        except Interrupt:
+                            proc._finish(None)
+                        else:
+                            cls = command.__class__
+                            if cls is Delay:
+                                d = command.cycles
+                                if d < _RING_SIZE:
+                                    target = ring[(when + d) & _RING_MASK]
+                                    if not target:
+                                        heappush(cycles, when + d)
+                                    target.append((proc, None))
+                                else:
+                                    seq = self._seq + 1
+                                    self._seq = seq
+                                    heappush(heap, (when + d, seq, proc, None, None))
+                            elif cls is _AcquireCommand:
+                                command.resource._request(proc)
+                            elif isinstance(command, Delay):
+                                self._schedule_step(command.cycles, proc, None)
+                            elif isinstance(command, (Event, Signal, Process)):
+                                command._wait(proc)
+                            else:
+                                raise SimulationError(
+                                    f"process {proc.name!r} yielded unsupported "
+                                    f"command {command!r}"
+                                )
+                else:
+                    proc()
+                count += 1
+                if self._stopped:
+                    break
+                if count == limit:
+                    limited = True
+                    break
+            del bucket[:i]
+            self._events_processed += i
+            if limited:
+                break
+        return self.now
+
+    def _run_heap(self, until: Optional[int], max_events: Optional[int]) -> int:
+        heap = self._heap
+        step = self._step
+        count = 0
+        while heap and not self._stopped:
+            entry = heap[0]
+            when = entry[0]
             if until is not None and when > until:
                 self.now = until
                 break
-            heapq.heappop(self._heap)
+            heappop(heap)
             self.now = when
-            callback()
+            proc = entry[2]
+            if proc is not None:
+                step(proc, entry[3])
+            else:
+                entry[4]()
             self._events_processed += 1
             count += 1
             if max_events is not None and count >= max_events:
@@ -304,7 +556,7 @@ class Simulator:
         """Register a generator as a process; it takes its first step at
         the current simulation time (via a zero-delay event)."""
         proc = Process(self, gen, name=name)
-        self.schedule(0, lambda: self._step(proc, None))
+        self._schedule_step(0, proc, None)
         return proc
 
     def spawn_all(self, gens: Iterable[Generator], prefix: str = "p") -> List[Process]:
@@ -321,7 +573,31 @@ class Simulator:
 
     def _resume(self, proc: Process, value: Any) -> None:
         proc._waiting_on = None
-        self.schedule(0, lambda: self._step(proc, value))
+        if self._use_ring:
+            bucket = self._ring[self.now & _RING_MASK]
+            if not bucket:
+                heappush(self._ring_cycles, self.now)
+            bucket.append((proc, value))
+        else:
+            seq = self._seq + 1
+            self._seq = seq
+            heappush(self._heap, (self.now, seq, proc, value, None))
+
+    def _resume_many(self, procs: List[Process], value: Any) -> None:
+        """Wake a batch of processes at the current cycle in one pass,
+        preserving their FIFO order (one bucket extension, no per-waiter
+        heap traffic)."""
+        if self._use_ring:
+            bucket = self._ring[self.now & _RING_MASK]
+            if not bucket:
+                heappush(self._ring_cycles, self.now)
+            for proc in procs:
+                proc._waiting_on = None
+                bucket.append((proc, value))
+        else:
+            for proc in procs:
+                proc._waiting_on = None
+                self._schedule_step(0, proc, value)
 
     def _step(self, proc: Process, value: Any) -> None:
         if not proc._alive:
@@ -338,14 +614,23 @@ class Simulator:
         except Interrupt:
             proc._finish(None)
             return
-        self._dispatch(proc, command)
+        # Dispatch, most frequent command first.
+        if isinstance(command, Delay):
+            self._schedule_step(command.cycles, proc, None)
+        elif isinstance(command, _AcquireCommand):
+            command.resource._request(proc)
+        elif isinstance(command, (Event, Signal, Process)):
+            command._wait(proc)
+        else:
+            raise SimulationError(
+                f"process {proc.name!r} yielded unsupported command {command!r}"
+            )
 
     def _dispatch(self, proc: Process, command: Any) -> None:
+        """Compatibility shim: dispatch one yielded command (the hot path
+        inlines this logic in :meth:`_step`)."""
         if isinstance(command, Delay):
-            if command.cycles == 0:
-                self._resume(proc, None)
-            else:
-                self.schedule(command.cycles, lambda: self._step(proc, None))
+            self._schedule_step(command.cycles, proc, None)
         elif isinstance(command, _AcquireCommand):
             command.resource._request(proc)
         elif isinstance(command, (Event, Signal, Process)):

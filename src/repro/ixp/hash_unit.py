@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Generator
 
-from repro.engine import Delay, Simulator
+from repro.engine import Delay, Simulator, delay
 from repro.net.routing import hardware_hash
 
 
@@ -33,7 +33,7 @@ class HashUnit:
             raise ValueError("hash count must be non-negative")
         self.hash_count += count
         if count:
-            yield Delay(self.cycles_per_hash * count)
+            yield delay(self.cycles_per_hash * count)
 
     def combine(self, a: int, b: int, bits: int = 16) -> int:
         """Combine two hashed values into a flow-table index (section 4.5)."""

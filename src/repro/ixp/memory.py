@@ -13,7 +13,7 @@ from __future__ import annotations
 import enum
 from typing import Dict, Generator, Optional, Tuple
 
-from repro.engine import Delay, Resource, Simulator
+from repro.engine import Delay, Resource, Simulator, delay
 from repro.ixp.params import MemoryTiming
 
 
@@ -56,6 +56,22 @@ class Memory:
         # (tag, op) -> count; tags attribute traffic to pipeline stages.
         self.access_counts: Dict[Tuple[str, str], int] = {}
         self.busy_cycles = 0
+        # Memoized access plans: an access's (occupancy, remaining) split
+        # depends only on the op and the 0-3 cycle jitter value, so the
+        # four variants per op are resolved once instead of per access.
+        self._plans = {
+            "read": self._build_plans(timing.read_latency),
+            "write": self._build_plans(timing.write_latency),
+        }
+
+    def _build_plans(self, base_latency: int):
+        plans = []
+        for jitter_value in range(max(4, self.jitter.mask + 1)):
+            latency = base_latency + jitter_value
+            occupancy = min(self.timing.occupancy, latency)
+            remaining = latency - occupancy
+            plans.append((occupancy, delay(occupancy), delay(remaining) if remaining > 0 else None))
+        return tuple(plans)
 
     def _count(self, tag: str, op: str) -> None:
         key = (tag, op)
@@ -69,16 +85,25 @@ class Memory:
         return self._access("write", self.timing.write_latency, tag)
 
     def _access(self, op: str, latency: int, tag: str) -> Generator:
-        self._count(tag, op)
-        latency += self.jitter.next()
+        counts = self.access_counts
+        key = (tag, op)
+        counts[key] = counts.get(key, 0) + 1
+        jitter_value = self.jitter.next()
+        plans = self._plans[op]
+        if jitter_value < len(plans):
+            occupancy, occupancy_delay, remaining_delay = plans[jitter_value]
+        else:  # custom jitter mask wider than the memoized range
+            jittered = latency + jitter_value
+            occupancy = min(self.timing.occupancy, jittered)
+            occupancy_delay = delay(occupancy)
+            remaining = jittered - occupancy
+            remaining_delay = delay(remaining) if remaining > 0 else None
         yield self.channel.acquire()
-        occupancy = min(self.timing.occupancy, latency)
         self.busy_cycles += occupancy
-        yield Delay(occupancy)
+        yield occupancy_delay
         self.channel.release()
-        remaining = latency - occupancy
-        if remaining > 0:
-            yield Delay(remaining)
+        if remaining_delay is not None:
+            yield remaining_delay
 
     # -- reporting -----------------------------------------------------------
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Generator, List, Optional
 
-from repro.engine import Delay, Resource, Simulator
+from repro.engine import Delay, Resource, Simulator, delay
 from repro.ixp.memory import Memory
 from repro.ixp.params import IXPParams
 from repro.ixp.token_ring import TokenRing
@@ -71,6 +71,13 @@ class MicroContext:
         self.holding_core = False
         self.mps_processed = 0
         self.packets_processed = 0
+        # Memoized timed-operation pieces: every context swap and memory
+        # issue costs the same cycles for the life of the context, so the
+        # command objects are resolved once instead of per reference.
+        self._swap_cycles = me.params.context_swap_cycles
+        self._swap_delay = delay(self._swap_cycles) if self._swap_cycles else None
+        self._issue_delay = delay(self.MEM_ISSUE_CYCLES)
+        self._core = me.core
 
     # -- engine possession ----------------------------------------------------
 
@@ -86,12 +93,11 @@ class MicroContext:
         self.me.core.release()
 
     def _swap_in(self) -> Generator:
-        yield self.me.core.acquire()
+        yield self._core.acquire()
         self.holding_core = True
-        swap = self.me.params.context_swap_cycles
-        if swap:
-            self.me.busy_cycles += swap
-            yield Delay(swap)
+        if self._swap_cycles:
+            self.me.busy_cycles += self._swap_cycles
+            yield self._swap_delay
 
     # -- execution -------------------------------------------------------------
 
@@ -103,20 +109,58 @@ class MicroContext:
             raise RuntimeError(f"context {self.ctx_id} executing without the engine")
         if cycles:
             self.me.busy_cycles += cycles
-            yield Delay(cycles)
+            yield delay(cycles)
 
     def mem(self, memory: Memory, op: str, tag: str = "") -> Generator:
         """A memory reference: issue on the engine, swap out for the
-        access, swap back in when the data returns."""
-        yield from self.busy(self.MEM_ISSUE_CYCLES)
-        self._swap_out()
+        access, swap back in when the data returns.
+
+        This is the hottest program operation, so the sub-steps (issue
+        cycles, swap-out, access, swap-in) are inlined rather than
+        delegated -- the yielded command sequence is identical.
+        """
+        me = self.me
+        if not self.holding_core:
+            raise RuntimeError(f"context {self.ctx_id} executing without the engine")
+        me.busy_cycles += self.MEM_ISSUE_CYCLES
+        yield self._issue_delay
+        self.holding_core = False
+        me.core.release()
+        # Inlined Memory._access (saves a generator frame per resume on
+        # the dominant operation); the yield/side-effect sequence must
+        # stay identical to Memory.read()/write().
         if op == "read":
-            yield from memory.read(tag=tag or f"ctx{self.ctx_id}")
+            base = memory.timing.read_latency
         elif op == "write":
-            yield from memory.write(tag=tag or f"ctx{self.ctx_id}")
+            base = memory.timing.write_latency
         else:
             raise ValueError(f"bad memory op {op!r}")
-        yield from self._swap_in()
+        counts = memory.access_counts
+        key = (tag or f"ctx{self.ctx_id}", op)
+        counts[key] = counts.get(key, 0) + 1
+        jit = memory.jitter
+        jit._counter = c = jit._counter + 1
+        jitter_value = (c * 2654435761 >> 7) & jit.mask
+        plans = memory._plans[op]
+        if jitter_value < len(plans):
+            occupancy, occupancy_delay, remaining_delay = plans[jitter_value]
+        else:  # custom jitter mask wider than the memoized range
+            jittered = base + jitter_value
+            occupancy = min(memory.timing.occupancy, jittered)
+            occupancy_delay = delay(occupancy)
+            remaining = jittered - occupancy
+            remaining_delay = delay(remaining) if remaining > 0 else None
+        yield memory.channel.acquire()
+        memory.busy_cycles += occupancy
+        yield occupancy_delay
+        memory.channel.release()
+        if remaining_delay is not None:
+            yield remaining_delay
+        yield self._core.acquire()
+        self.holding_core = True
+        if self._swap_cycles:
+            me.busy_cycles += self._swap_cycles
+            yield self._swap_delay
 
     def yield_me(self) -> Generator:
         """Voluntary context arbitration (``ctx_arb``): give waiting
@@ -132,7 +176,7 @@ class MicroContext:
         """Block off-engine for a fixed time (e.g. a DMA transfer)."""
         self._swap_out()
         if cycles:
-            yield Delay(cycles)
+            yield delay(cycles)
         yield from self._swap_in()
 
     def blocked_on(self, resource: Resource, hold_cycles: int) -> Generator:
@@ -140,7 +184,7 @@ class MicroContext:
         self._swap_out()
         yield resource.acquire()
         if hold_cycles:
-            yield Delay(hold_cycles)
+            yield delay(hold_cycles)
         resource.release()
         yield from self._swap_in()
 
@@ -186,7 +230,7 @@ class MicroContext:
             MicroContext._IX_JITTER = AccessJitter()
         self._swap_out()
         yield ix_bus.acquire()
-        yield Delay(self.me.params.ix_bus_mp_cycles + MicroContext._IX_JITTER.next())
+        yield delay(self.me.params.ix_bus_mp_cycles + MicroContext._IX_JITTER.next())
         ix_bus.release()
         yield from self._swap_in()
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Generator, List, Sequence
 
-from repro.engine import Delay, Event, Simulator
+from repro.engine import Delay, Event, Simulator, delay
 
 
 def interleave_across_engines(context_ids: Sequence[int], contexts_per_me: int) -> List[int]:
@@ -73,7 +73,7 @@ class TokenRing:
                 f"(holder={self.current_holder})"
             )
         if self.pass_cycles:
-            yield Delay(self.pass_cycles)
+            yield delay(self.pass_cycles)
         self._holder_active = False
         self._position = (self._position + 1) % len(self.order)
         self.rotations += 1

@@ -63,6 +63,12 @@ class RoutingTable:
         self._root = _TrieNode(1 << self.strides[0])
         self._routes: List[Route] = []
         self.generation = 0
+        self._listeners: List = []
+
+    def add_listener(self, callback) -> None:
+        """Register an invalidation callback fired on every table change
+        (route caches subscribe so probes need no staleness check)."""
+        self._listeners.append(callback)
 
     def __len__(self) -> int:
         return len(self._routes)
@@ -83,6 +89,8 @@ class RoutingTable:
         self._routes.append(route)
         self._insert(route)
         self.generation += 1
+        for callback in self._listeners:
+            callback()
         return route
 
     def add_default(self, out_port: int) -> Route:
@@ -177,21 +185,27 @@ class RouteCache:
     A direct-mapped table indexed by the hardware hash of the destination
     address.  A miss is an *exceptional* event: the packet climbs to the
     StrongARM, which performs the CPE lookup and refills the cache.
+
+    Staleness is handled by explicit invalidation: the cache registers
+    itself as a table listener, so every route install clears the slots
+    and a probe is a bare hash-index-compare (no per-lookup generation
+    check).  A stale-entry probe was always a miss before, and a cleared
+    slot is a miss now, so hit/miss counts are unchanged.
     """
 
     def __init__(self, table: RoutingTable, size_bits: int = 10):
         self.table = table
         self.size_bits = size_bits
         self.size = 1 << size_bits
-        self._slots: List[Optional[Tuple[IPv4Address, Route, int]]] = [None] * self.size
+        self._slots: List[Optional[Tuple[IPv4Address, Route]]] = [None] * self.size
         self.hits = 0
         self.misses = 0
+        table.add_listener(self.invalidate)
 
     def lookup(self, addr: IPv4Address) -> Optional[Route]:
         """Fast-path lookup; ``None`` means miss (exceptional packet)."""
-        slot = hardware_hash(addr.value, self.size_bits)
-        entry = self._slots[slot]
-        if entry is not None and entry[0] == addr and entry[2] == self.table.generation:
+        entry = self._slots[hardware_hash(addr.value, self.size_bits)]
+        if entry is not None and entry[0] == addr:
             self.hits += 1
             return entry[1]
         self.misses += 1
@@ -202,7 +216,7 @@ class RouteCache:
         route = self.table.lookup(addr)
         if route is not None:
             slot = hardware_hash(addr.value, self.size_bits)
-            self._slots[slot] = (addr, route, self.table.generation)
+            self._slots[slot] = (addr, route)
         return route
 
     def warm(self, addrs) -> None:

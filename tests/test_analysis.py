@@ -52,6 +52,7 @@ def test_full_suite_uses_most_of_budget():
     assert 140 <= suite.reg_cycles <= PROTOTYPE_BUDGET.cycles
 
 
+@pytest.mark.slow
 def test_robustness_small_pentium_share_is_lossless():
     result = run_vrp_pentium_share(8, window=200_000)
     assert result.lossless
@@ -59,6 +60,7 @@ def test_robustness_small_pentium_share_is_lossless():
     assert result.forwarded_pps == pytest.approx(1.128e6, rel=0.1)
 
 
+@pytest.mark.slow
 def test_robustness_oversized_share_detected():
     result = run_vrp_pentium_share(2, window=250_000)
     assert not result.lossless
@@ -71,6 +73,7 @@ def test_robustness_share_every_validated():
         run_vrp_pentium_share(1)
 
 
+@pytest.mark.slow
 def test_exceptional_flood_does_not_hurt_fast_path():
     light = run_exceptional_flood(32, window=150_000)
     heavy = run_exceptional_flood(4, window=150_000)

@@ -1,9 +1,11 @@
 """Structure test for the one-call reproduction report (tiny windows so
 this stays a unit test; the CLI's `report` runs it at full fidelity)."""
 
+import pytest
 from repro.analysis.report import generate_report
 
 
+@pytest.mark.slow
 def test_report_contains_all_sections():
     text = generate_report(window=25_000)
     for heading in (

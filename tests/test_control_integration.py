@@ -33,6 +33,7 @@ def neighbor_lsa(sequence=1):
     )
 
 
+@pytest.mark.slow
 def test_lsa_packet_climbs_to_pentium_and_programs_route():
     router, node, binding = bound_router()
     packet = make_lsa_packet(neighbor_lsa().to_bytes(), src=NEIGHBOR_IP)
@@ -48,6 +49,7 @@ def test_lsa_packet_climbs_to_pentium_and_programs_route():
     assert route.out_port == 7
 
 
+@pytest.mark.slow
 def test_data_plane_follows_protocol_learned_route():
     router, node, binding = bound_router()
     router.inject(7, iter([make_lsa_packet(neighbor_lsa().to_bytes(), src=NEIGHBOR_IP)]))
@@ -59,6 +61,7 @@ def test_data_plane_follows_protocol_learned_route():
     assert len(router.transmitted(7)) == 4
 
 
+@pytest.mark.slow
 def test_duplicate_lsa_does_not_reprogram():
     router, node, binding = bound_router()
     packets = [
@@ -72,6 +75,7 @@ def test_duplicate_lsa_does_not_reprogram():
     assert first_programs == len(node.routes)
 
 
+@pytest.mark.slow
 def test_newer_sequence_reroutes():
     router, node, binding = bound_router()
     router.inject(7, iter([make_lsa_packet(neighbor_lsa(1).to_bytes(), src=NEIGHBOR_IP)]))
@@ -97,6 +101,7 @@ def test_spf_cycles_charged_to_pentium():
     assert router.pentium.busy_pentium_cycles - before > 20_000
 
 
+@pytest.mark.slow
 def test_protocol_keeps_share_under_pentium_flood():
     """Section 4.1's isolation: a greedy Pentium-bound data flow cannot
     starve the routing protocol's reserved share."""

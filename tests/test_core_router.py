@@ -58,6 +58,7 @@ def test_minimal_ip_applied_on_fast_path():
         assert p.eth.src == MACAddress.for_port(p.meta["out_port"])
 
 
+@pytest.mark.slow
 def test_route_cache_miss_heals_through_strongarm():
     """Cold-cache packets climb to the StrongARM (CPE lookup), are
     re-queued, and still come out the right port."""
@@ -101,6 +102,7 @@ def test_install_general_syn_monitor_counts():
     assert router.getdata(fid)["syn_count"] == 15
 
 
+@pytest.mark.slow
 def test_install_per_flow_splicer_patches_only_its_flow():
     router = booted_router()
     from repro.net.addresses import IPv4Address
@@ -139,6 +141,7 @@ def test_port_filter_drops_in_data_plane():
     assert all(p.tcp.dst_port == 22 for p in out)
 
 
+@pytest.mark.slow
 def test_pentium_bound_flow_goes_up_and_comes_back():
     router = booted_router()
     from repro.net.addresses import IPv4Address
@@ -171,6 +174,7 @@ def test_admission_rejects_oversized_extension():
         router.install(ALL, monster)
 
 
+@pytest.mark.slow
 def test_remove_stops_forwarder():
     router = booted_router()
     fid = router.install(ALL, syn_monitor())

@@ -85,6 +85,7 @@ def test_wfq_program_fits_vrp_budget():
     assert ok, reason
 
 
+@pytest.mark.slow
 def test_wfq_in_router_shares_congested_port_by_weight():
     """Both classes flood one output port beyond its line rate; delivered
     packets approximate the 3:1 weights (FIFO would be ~1:1)."""
@@ -154,6 +155,7 @@ def test_strongarm_scheduler_divides_local_capacity():
 # -- RouterCluster --------------------------------------------------------------------
 
 
+@pytest.mark.slow
 def test_cluster_routes_across_members():
     cluster = RouterCluster(num_routers=2)
     cluster.add_route("10.1.0.0", 16, owner=0, out_port=1)
@@ -176,6 +178,7 @@ def test_cluster_routes_across_members():
     assert len(cluster.routers[0].transmitted(2)) == 0
 
 
+@pytest.mark.slow
 def test_cluster_local_traffic_stays_local():
     cluster = RouterCluster(num_routers=2)
     cluster.add_route("10.1.0.0", 16, owner=0, out_port=1)

@@ -22,6 +22,7 @@ def booted(**kwargs):
     return router
 
 
+@pytest.mark.slow
 def test_slow_egress_port_does_not_block_other_ports():
     """Congest one 100 Mbps egress far beyond line rate; traffic to the
     other ports must be completely unaffected."""
@@ -82,6 +83,7 @@ def test_malformed_frames_do_not_wedge_the_port():
     assert router.stats()["classifier_failures"] >= 1
 
 
+@pytest.mark.slow
 def test_buffer_overwrite_loses_only_stale_packets():
     """Shrink the buffer pool so the circular allocator laps itself while
     an egress port is congested: stale packets are lost (counted), and
@@ -125,6 +127,7 @@ def test_filter_dropping_everything_keeps_router_alive():
     assert len(router.transmitted(2)) == 3
 
 
+@pytest.mark.slow
 def test_sa_queue_overflow_confined_to_exceptional_stream():
     """Unroutable packets flood the StrongARM queue; once it fills, the
     excess is dropped there while routable traffic is untouched."""

@@ -49,6 +49,7 @@ def test_cache_hit_rate_accounting_over_mixed_traffic():
 # -- four-member cluster ring -----------------------------------------------------------
 
 
+@pytest.mark.slow
 def test_four_member_cluster():
     """The paper's stated section 6 plan: 'four Pentium/IXP pairs
     connected by a Gigabit Ethernet switch'."""
