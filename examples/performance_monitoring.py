@@ -19,10 +19,15 @@ from repro import ALL, Router
 from repro.core.forwarders import ack_monitor, syn_monitor
 from repro.net.packet import FlowKey
 from repro.net.traffic import flow_stream, round_robin_merge, take
+from repro.obs import trace_hash
 
 
 def main() -> None:
     router = Router()
+    # The observability layer is the infrastructure-level half of this
+    # example's monitoring story: forwarder counters watch flows, the
+    # recorder watches the router itself.
+    recorder = router.enable_observability()
     for port in range(10):
         router.add_route(f"10.{port}.0.0", 16, port)
 
@@ -64,6 +69,16 @@ def main() -> None:
     print(f"per-flow ACKs seen:  {data.get('acks_seen', 0)}")
     print(f"duplicate ACKs:      {data.get('dup_acks', 0)}  (loss signature)")
     assert data.get("dup_acks", 0) > 0
+
+    # -- infrastructure-level monitoring from the same run ---------------
+    summary = recorder.stage_summary()
+    mac_in = sum(n for (__, event), n in summary.items() if event == "mac_in")
+    mac_out = sum(n for (__, event), n in summary.items() if event == "mac_out")
+    busy = recorder.accounting.get("strongarm", {}).get("busy", 0.0)
+    print(f"traced packets:      {mac_in} in / {mac_out} out")
+    print(f"StrongARM busy:      {busy:.0f} cycles")
+    print(f"trace hash:          {trace_hash(recorder.events.to_list())[:16]}")
+    assert mac_in > 0 and mac_out > 0
 
 
 if __name__ == "__main__":

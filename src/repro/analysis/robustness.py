@@ -49,7 +49,10 @@ class RobustnessResult:
     dropped_total: int
     sa_queue_drops: int
     fast_path_drops: int
-    pentium_spare_cycles: float
+    # None when no Pentium took part (or it processed nothing): the
+    # quantity is undefined, and None survives JSON export where a
+    # nan/inf sentinel would not.
+    pentium_spare_cycles: Optional[float]
     sa_queue_fill: float = 0.0  # end-of-run occupancy / capacity
 
     @property
@@ -181,5 +184,5 @@ def run_exceptional_flood(
         dropped_total=m.queue_drops + sa_drops + m.lost_buffers,
         sa_queue_drops=sa_drops,
         fast_path_drops=m.queue_drops,
-        pentium_spare_cycles=float("nan"),
+        pentium_spare_cycles=None,
     )

@@ -65,9 +65,10 @@ def cmd_table4(args) -> None:
 
     for size in (64, 1500):
         m = measure_pentium_path(size, window=args.window * (3 if size == 1500 else 1))
+        spare = m.pentium_spare_cycles
         _print_table(f"Table 4 ({size}-byte packets)", [
             ("rate (Kpps)", f"{m.rate_pps/1e3:.1f}"),
-            ("Pentium spare cycles", f"{m.pentium_spare_cycles:.0f}"),
+            ("Pentium spare cycles", "n/a" if spare is None else f"{spare:.0f}"),
             ("StrongARM spare cycles", f"{m.strongarm_spare_cycles:.0f}"),
         ])
 
@@ -118,6 +119,19 @@ def cmd_report(args) -> None:
     print(generate_report(quick=not args.full))
 
 
+def cmd_profile(args) -> None:
+    from repro.obs.profile import profile_scenario
+
+    result = profile_scenario(args.scenario, window=args.window)
+    print(result.table())
+    out = args.trace_out or f"repro-trace-{args.scenario}.json"
+    with open(out, "w") as fh:
+        fh.write(result.to_json(include_trace=True, indent=2))
+    print(f"trace written to {out}")
+    if args.json:
+        print(result.to_json(include_trace=False, indent=2))
+
+
 def cmd_plan(args) -> None:
     from repro.core.resource_model import plan
     from repro.net.mac import PortSpeed
@@ -148,6 +162,7 @@ COMMANDS: Dict[str, Callable] = {
     "envelope": cmd_envelope,
     "plan": cmd_plan,
     "report": cmd_report,
+    "profile": cmd_profile,
 }
 
 
@@ -168,6 +183,17 @@ def main(argv=None) -> int:
     plan_parser.add_argument("--headroom", type=float, default=1.0)
     report_parser = sub.add_parser("report", help="full paper-vs-measured markdown report")
     report_parser.add_argument("--full", action="store_true", help="benchmark-fidelity windows")
+    profile_parser = sub.add_parser(
+        "profile", help="per-stage cycle accounting + packet trace for a scenario"
+    )
+    profile_parser.add_argument("scenario", choices=("fastpath", "vrp", "router"),
+                                help="which demo scenario to instrument")
+    profile_parser.add_argument("--window", type=int, default=120_000,
+                                help="measurement window in cycles (default 120000)")
+    profile_parser.add_argument("--trace-out", default=None,
+                                help="trace JSON path (default repro-trace-<scenario>.json)")
+    profile_parser.add_argument("--json", action="store_true",
+                                help="also print the profile (without trace) as JSON")
 
     args = parser.parse_args(argv)
     if args.command in (None, "list"):

@@ -131,6 +131,28 @@ class Router:
         if self.config.install_default_ip:
             self.ip_fid = self.interface.install(ALL, minimal_ip())
 
+    def enable_observability(self, recorder=None, sample_period: Optional[int] = None):
+        """Attach one live recorder across the whole hierarchy: the chip
+        hooks plus the PCI bus, the Pentium, and a periodic utilization
+        sampler over the hosts' busy counters (normalized to simulation
+        cycles so StrongARM and Pentium series share one unit)."""
+        from repro.obs.accounting import DEFAULT_SAMPLE_PERIOD, host_sampler
+
+        recorder = self.chip.enable_observability(recorder, sample_period=sample_period)
+        self.pci.recorder = recorder
+        probes = [("strongarm", self.strongarm, "busy_cycles", 1.0),
+                  ("pci", self.pci, "busy_cycles", 1.0)]
+        if self.pentium is not None:
+            self.pentium.recorder = recorder
+            probes.append(
+                ("pentium", self.pentium, "busy_pentium_cycles",
+                 1.0 / self.pentium.params.ratio)
+            )
+        period = DEFAULT_SAMPLE_PERIOD if sample_period is None else sample_period
+        self.sim.spawn(host_sampler(self.sim, recorder, probes, period),
+                       name="obs-host-sampler")
+        return recorder
+
     # -- boot helpers -------------------------------------------------------------
 
     def _boot_strongarm_services(self) -> None:

@@ -38,6 +38,8 @@ from typing import Any, Callable, Deque, Generator, Iterable, List, Optional, Tu
 
 from collections import deque
 
+from repro.obs.recorder import NULL_RECORDER
+
 # Calendar ring geometry: delays shorter than the ring go into per-cycle
 # buckets; longer ones overflow to the far-future heap.
 _RING_BITS = 10
@@ -316,9 +318,12 @@ class Process:
     def _finish(self, result: Any) -> None:
         self._alive = False
         self._result = result
+        sim = self.sim
+        if sim.recorder.enabled:
+            sim.recorder.record(sim.now, "sim", "process_exit", None, self.name)
         joiners, self._joiners = self._joiners, []
         if joiners:
-            self.sim._resume_many(joiners, result)
+            sim._resume_many(joiners, result)
 
     def __repr__(self) -> str:
         state = "alive" if self._alive else "done"
@@ -346,6 +351,10 @@ class Simulator:
             raise SimulationError(f"unknown scheduler {scheduler!r} (use 'calendar' or 'heap')")
         self.scheduler = scheduler
         self._use_ring = scheduler == "calendar"
+        # Observability sink (repro.obs).  The hot event loop never
+        # consults it: hooks live only on process-lifecycle edges
+        # (spawn/finish), so the disabled path costs nothing per event.
+        self.recorder = NULL_RECORDER
         self.now: int = 0
         self._seq = 0
         self._events_processed = 0
@@ -557,6 +566,8 @@ class Simulator:
         the current simulation time (via a zero-delay event)."""
         proc = Process(self, gen, name=name)
         self._schedule_step(0, proc, None)
+        if self.recorder.enabled:
+            self.recorder.record(self.now, "sim", "spawn", None, proc.name)
         return proc
 
     def spawn_all(self, gens: Iterable[Generator], prefix: str = "p") -> List[Process]:

@@ -120,14 +120,20 @@ class Histogram:
         self.buckets: List[int] = [0] * (len(self.bounds) + 1)
         self.count = 0
         self.total = 0.0
-        self.total_sq = 0.0
+        # Welford's online variance state: the naive sum-of-squares
+        # formula (total_sq/n - mean^2) cancels catastrophically once the
+        # mean dwarfs the spread (e.g. cycle timestamps in the billions).
+        self._mean = 0.0
+        self._m2 = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
 
     def record(self, value: float) -> None:
         self.count += 1
         self.total += value
-        self.total_sq += value * value
+        d = value - self._mean
+        self._mean += d / self.count
+        self._m2 += d * (value - self._mean)
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
         index = 0
@@ -145,19 +151,20 @@ class Histogram:
     def stddev(self) -> float:
         if self.count < 2:
             return 0.0
-        mean = self.mean
-        variance = self.total_sq / self.count - mean * mean
-        return math.sqrt(max(0.0, variance))
+        return math.sqrt(max(0.0, self._m2 / self.count))
 
     def bucket_items(self) -> List[Tuple[str, int]]:
+        if not self.bounds:
+            # One catch-all bucket; no finite bound exists on either side.
+            return [("(-inf, +inf)", self.buckets[0])]
         labels = []
         previous = None
         for bound in self.bounds:
             low = "-inf" if previous is None else str(previous)
-            labels.append((f"({low}, {bound}]", 0))
+            labels.append(f"({low}, {bound}]")
             previous = bound
-        labels.append((f"({previous}, +inf)", 0))
-        return [(label, count) for (label, __), count in zip(labels, self.buckets)]
+        labels.append(f"({previous}, +inf)")
+        return list(zip(labels, self.buckets))
 
 
 class StatSet:
@@ -190,11 +197,24 @@ class StatSet:
             self.histograms[name] = Histogram(name, bounds)
         return self.histograms[name]
 
-    def snapshot(self) -> Dict[str, float]:
-        """Flat dict of counter values and histogram means, for reporting."""
+    def snapshot(self, now: Optional[int] = None) -> Dict[str, float]:
+        """Flat dict of *every* stat in the set, for reporting.
+
+        ``now`` closes out the rate and time-weighted stats; without it
+        they fall back to their last-recorded cycle, which undercounts
+        idle tail time.
+        """
         out: Dict[str, float] = {}
         for name, counter in self.counters.items():
             out[f"{name}"] = counter.value
+        for name, rate in self.rates.items():
+            out[f"{name}.count"] = rate.count
+            out[f"{name}.rate_per_cycle"] = rate.per_cycle(now)
+        for name, weighted in self.weighted.items():
+            out[f"{name}.current"] = weighted.current
+            out[f"{name}.max"] = weighted.maximum
+            if now is not None:
+                out[f"{name}.mean"] = weighted.mean(now)
         for name, histogram in self.histograms.items():
             out[f"{name}.mean"] = histogram.mean
             out[f"{name}.count"] = histogram.count

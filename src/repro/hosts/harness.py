@@ -10,7 +10,7 @@ number of spare cycles available."
 
 from __future__ import annotations
 
-from typing import NamedTuple
+from typing import NamedTuple, Optional
 
 from repro.engine import Delay, Simulator
 from repro.hosts.pci import I2OQueuePair, PCIBus
@@ -29,7 +29,7 @@ class PathMeasurement(NamedTuple):
 
     packet_bytes: int
     rate_pps: float
-    pentium_spare_cycles: float
+    pentium_spare_cycles: Optional[float]  # None: no packets in the window
     strongarm_spare_cycles: float
 
 

@@ -19,6 +19,7 @@ from collections import deque
 from typing import Any, Deque, NamedTuple, Optional
 
 from repro.engine import Resource, Simulator
+from repro.obs.recorder import NULL_RECORDER
 
 # 32-bit x 33 MHz PCI: 1.056 Gbps.  In 200 MHz simulation cycles, one
 # byte takes 8 bits / 1.056e9 * 200e6 = ~1.515 cycles.
@@ -44,6 +45,7 @@ class PCIBus:
         self.lock = Resource(sim, capacity=1, name="pci")
         self.bytes_moved = 0
         self.busy_cycles = 0
+        self.recorder = NULL_RECORDER
 
     def transfer(self, num_bytes: int):
         """Generator: occupy the bus for the transfer duration."""
@@ -53,6 +55,9 @@ class PCIBus:
         yield self.lock.acquire()
         self.bytes_moved += num_bytes
         self.busy_cycles += cycles
+        rec = self.recorder
+        if rec.enabled:
+            rec.account("pci", "busy", cycles)
         yield Delay(cycles)
         self.lock.release()
 

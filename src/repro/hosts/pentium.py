@@ -18,6 +18,7 @@ from typing import Callable, Dict, Generator, Optional
 from repro.engine import Delay, Simulator
 from repro.hosts.pci import EAGER_BYTES, I2OMessage, I2OQueuePair, PCIBus
 from repro.hosts.scheduling import StrideScheduler
+from repro.obs.recorder import NULL_RECORDER
 
 SIM_CLOCK_HZ = 200e6
 
@@ -64,6 +65,7 @@ class PentiumHost:
         self.default_forwarder = default_forwarder
         # Jump table of control-plane forwarders: name -> (cycles, fn).
         self.jump_table: Dict[str, tuple] = {"echo": (0, None)}
+        self.recorder = NULL_RECORDER
         self.busy_pentium_cycles = 0.0
         self.processed = 0
         self.returned = 0
@@ -86,12 +88,15 @@ class PentiumHost:
         self._window_start_busy = self.busy_pentium_cycles
         self._window_start_processed = self.processed
 
-    def spare_cycles_per_packet(self, window_sim_cycles: int) -> float:
+    def spare_cycles_per_packet(self, window_sim_cycles: int) -> Optional[float]:
         """The paper's delay-loop measurement: unused Pentium cycles per
-        processed packet over the window."""
+        processed packet over the window.  ``None`` when no packets were
+        processed -- the quantity is undefined, and the old
+        ``float("inf")`` sentinel leaked ``Infinity`` (invalid JSON) into
+        exported reports."""
         packets = self.processed - self._window_start_processed
         if packets == 0:
-            return float("inf")
+            return None
         total = window_sim_cycles * self.params.ratio
         busy = self.busy_pentium_cycles - self._window_start_busy
         return max(0.0, (total - busy) / packets)
@@ -100,6 +105,9 @@ class PentiumHost:
 
     def _busy_pcycles(self, pentium_cycles: float) -> Generator:
         self.busy_pentium_cycles += pentium_cycles
+        rec = self.recorder
+        if rec.enabled:
+            rec.account("pentium", "busy", pentium_cycles / self.params.ratio)
         yield Delay(self.params.to_sim_cycles(pentium_cycles))
 
     def _pio(self, num_bytes: int) -> Generator:
@@ -120,6 +128,10 @@ class PentiumHost:
         # Pull the eager bytes (64B + 8B header) across the bus.
         yield from self._pio(message.eager_bytes)
         yield from self._busy_pcycles(self.params.i2o_overhead_cycles)
+        rec = self.recorder
+        if rec.enabled:
+            rec.record(self.sim.now, "pentium", "pentium_in",
+                       rec.packet_id(message.packet), message.body_bytes)
         if message.packet is not None:
             message.packet.meta["t_pentium"] = self.sim.now
 
@@ -148,6 +160,9 @@ class PentiumHost:
         if self.scheduler is not None:
             self.scheduler.charge(name, self.params.i2o_overhead_cycles + cycles)
         self.processed += 1
+        if rec.enabled:
+            rec.record(self.sim.now, "pentium", "pentium_done",
+                       rec.packet_id(message.packet), name)
         if not keep:
             return
 

@@ -101,6 +101,9 @@ class StrongARM:
     def _busy(self, cycles: int) -> Generator:
         self.busy_cycles += cycles
         if cycles:
+            rec = self.chip.recorder
+            if rec.enabled:
+                rec.account("strongarm", "busy", cycles)
             yield Delay(cycles)
 
     def _run(self) -> Generator:
@@ -156,6 +159,10 @@ class StrongARM:
         if descriptor.packet is not None:
             descriptor.packet.meta["t_strongarm"] = self.sim.now
         forwarder = self._forwarder_for(descriptor)
+        rec = self.chip.recorder
+        if rec.enabled:
+            rec.record(self.sim.now, "strongarm", "sa_dispatch",
+                       rec.packet_id(descriptor.packet), forwarder.name)
         yield from self._busy(self.params.dispatch_cycles + forwarder.cycles)
         if self.scheduler is not None:
             self.scheduler.charge(forwarder.name, self.params.dispatch_cycles + forwarder.cycles)
@@ -195,6 +202,10 @@ class StrongARM:
             self.bridge_backpressure += 1
             yield Delay(self.params.idle_poll_cycles)
         self.bridged += 1
+        rec = self.chip.recorder
+        if rec.enabled:
+            rec.record(self.sim.now, "strongarm", "to_pentium",
+                       rec.packet_id(packet), frame_len)
 
     def _forwarder_for(self, descriptor: PacketDescriptor) -> LocalForwarder:
         if descriptor.packet is not None:

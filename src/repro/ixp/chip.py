@@ -45,6 +45,7 @@ from repro.net.mac import MACPort
 from repro.net.mp import mp_count as frame_mp_count
 from repro.net.mp import segment_packet
 from repro.net.routing import RouteCache, RoutingTable
+from repro.obs.recorder import NULL_RECORDER, Recorder
 
 
 @dataclass
@@ -298,7 +299,32 @@ class IXP1200:
         # Buffer-handle -> accumulated MP payloads (functional contents).
         self._infinite_queues: Dict[int, _InfiniteQueue] = {}
 
+        self.recorder = NULL_RECORDER
+
         self._build_pipeline()
+
+    def enable_observability(
+        self,
+        recorder: Optional[Recorder] = None,
+        sample_period: Optional[int] = None,
+    ) -> Recorder:
+        """Attach a live recorder to every hook on the chip and spawn the
+        periodic utilization sampler.  Returns the recorder.  Only called
+        paths change behaviour: with the default null recorder nothing
+        here runs and the simulation is bit-identical to an uninstrumented
+        one."""
+        from repro.obs.accounting import DEFAULT_SAMPLE_PERIOD, chip_sampler
+
+        if recorder is None:
+            recorder = Recorder()
+        self.recorder = recorder
+        self.sim.recorder = recorder
+        self.bank.recorder = recorder
+        for me in self.engines:
+            me.recorder = recorder
+        period = DEFAULT_SAMPLE_PERIOD if sample_period is None else sample_period
+        self.sim.spawn(chip_sampler(self, recorder, period), name="obs-sampler")
+        return recorder
 
     # -- construction ---------------------------------------------------------
 
@@ -413,6 +439,15 @@ class IXP1200:
 
     def classify(self, item: WorkItem, ctx: MicroContext) -> WorkItem:
         """Functional classification of the first MP of a packet."""
+        item = self._classify(item, ctx)
+        rec = self.recorder
+        if rec.enabled and item.packet is not None:
+            detail = item.packet.meta.get("exceptional") or item.out_port
+            rec.record(self.sim.now, ctx._comp, "classify",
+                       rec.packet_id(item.packet), detail)
+        return item
+
+    def _classify(self, item: WorkItem, ctx: MicroContext) -> WorkItem:
         if self.config.classifier is not None:
             return self.config.classifier(self, item)
         if item.packet is None:
@@ -443,13 +478,24 @@ class IXP1200:
         else:
             target = self.config.synthetic_exceptional_target
         queue = self.sa_pentium_queue if target == "pentium" else self.sa_local_queue
+        rec = self.recorder
         if not queue.enqueue(descriptor):
             self.counters["sa_drops"] += 1
+            if rec.enabled:
+                rec.record(self.sim.now, "chip", "sa_drop",
+                           rec.packet_id(item.packet), target)
             return
+        if rec.enabled:
+            rec.record(self.sim.now, "chip", "to_sa",
+                       rec.packet_id(item.packet), target)
         self.sa_signal.fire()
 
     def note_queue_drop(self, item: WorkItem) -> None:
         self.counters["queue_drops"] += 1
+        rec = self.recorder
+        if rec.enabled:
+            rec.record(self.sim.now, "chip", "drop",
+                       rec.packet_id(item.packet), item.out_port)
 
     def record_input_mp(self, ctx: MicroContext, item: WorkItem) -> None:
         self.counters["input_mps"] += 1
@@ -485,6 +531,10 @@ class IXP1200:
         """All MPs of a packet transmitted: validate the buffer lifetime
         and deliver functionally to the egress MAC."""
         self.counters["output_packets"] += 1
+        rec = self.recorder
+        if rec.enabled:
+            rec.record(self.sim.now, "chip", "mac_out",
+                       rec.packet_id(descriptor.packet), descriptor.out_port)
         if descriptor.packet is None:
             return
         descriptor.packet.meta["t_transmitted"] = self.sim.now
@@ -513,6 +563,11 @@ class IXP1200:
             descriptor = descriptor._replace(out_port=out_port)
         queue = self.bank.input_queue_for(max(0, out_port))
         ok = self.bank.enqueue(queue, descriptor)
+        rec = self.recorder
+        if rec.enabled:
+            rec.record(self.sim.now, "chip",
+                       "requeue" if ok else "requeue_drop",
+                       rec.packet_id(descriptor.packet), out_port)
         if ok:
             self.work_signal.fire()
         else:

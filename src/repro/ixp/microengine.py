@@ -27,6 +27,7 @@ from repro.engine import Delay, Resource, Simulator, delay
 from repro.ixp.memory import Memory
 from repro.ixp.params import IXPParams
 from repro.ixp.token_ring import TokenRing
+from repro.obs.recorder import NULL_RECORDER
 
 
 class MicroEngine:
@@ -40,6 +41,7 @@ class MicroEngine:
         self.contexts: List["MicroContext"] = []
         self.busy_cycles = 0
         self.enabled = True
+        self.recorder = NULL_RECORDER
 
     def new_context(self) -> "MicroContext":
         if len(self.contexts) >= self.params.contexts_per_me:
@@ -78,6 +80,7 @@ class MicroContext:
         self._swap_delay = delay(self._swap_cycles) if self._swap_cycles else None
         self._issue_delay = delay(self.MEM_ISSUE_CYCLES)
         self._core = me.core
+        self._comp = f"me{me.me_id}.ctx{slot}"
 
     # -- engine possession ----------------------------------------------------
 
@@ -109,6 +112,9 @@ class MicroContext:
             raise RuntimeError(f"context {self.ctx_id} executing without the engine")
         if cycles:
             self.me.busy_cycles += cycles
+            rec = self.me.recorder
+            if rec.enabled:
+                rec.account(self._comp, "busy", cycles)
             yield delay(cycles)
 
     def mem(self, memory: Memory, op: str, tag: str = "") -> Generator:
@@ -122,10 +128,14 @@ class MicroContext:
         me = self.me
         if not self.holding_core:
             raise RuntimeError(f"context {self.ctx_id} executing without the engine")
+        rec = me.recorder
+        observing = rec.enabled
         me.busy_cycles += self.MEM_ISSUE_CYCLES
         yield self._issue_delay
         self.holding_core = False
         me.core.release()
+        if observing:
+            t0 = self.sim.now
         # Inlined Memory._access (saves a generator frame per resume on
         # the dominant operation); the yield/side-effect sequence must
         # stay identical to Memory.read()/write().
@@ -158,6 +168,8 @@ class MicroContext:
             yield remaining_delay
         yield self._core.acquire()
         self.holding_core = True
+        if observing:
+            rec.account(self._comp, "mem_stall", self.sim.now - t0)
         if self._swap_cycles:
             me.busy_cycles += self._swap_cycles
             yield self._swap_delay

@@ -236,6 +236,10 @@ def input_loop(ctx: MicroContext, chip, source) -> Generator:
                 event.succeed()
             yield from source.idle_wait(ctx)
             continue
+        rec = chip.recorder
+        if rec.enabled and item.is_first and item.packet is not None:
+            rec.record(sim.now, ctx._comp, "mac_in",
+                       rec.packet_id(item.packet), item.out_port)
         # Program the DMA while holding the token (requests to the single
         # DMA state machine are not hardware-serialized, section 3.2.2);
         # the transfer itself into this context's private FIFO slot then
@@ -693,6 +697,12 @@ def output_loop(ctx: MicroContext, chip, ports) -> Generator:
             descriptor = bank_dequeue(queue)
             if descriptor is None:
                 continue
+            rec = chip.recorder
+            if rec.enabled:
+                rec.sample_queue(sim.now, queue.queue_id, len(queue._entries))
+                rec.record(sim.now, ctx._comp, "dequeue",
+                           rec.packet_id(descriptor.packet),
+                           sim.now - descriptor.enqueue_cycle)
             batch_remaining = max(0, batch_remaining - 1)
             current = [descriptor, descriptor.mp_count]
             mem_index = 0  # start at the dequeue-commit SRAM write

@@ -24,6 +24,7 @@ from collections import deque
 from typing import Deque, Dict, List, NamedTuple, Optional, Tuple
 
 from repro.ixp.buffers import BufferHandle
+from repro.obs.recorder import NULL_RECORDER
 
 
 class InputDiscipline(enum.Enum):
@@ -118,6 +119,7 @@ class QueueBank:
         self.num_ports = num_ports
         self.num_input_contexts = num_input_contexts
         self.queues: List[PacketQueue] = []
+        self.recorder = NULL_RECORDER
         self._by_port: Dict[int, List[PacketQueue]] = {p: [] for p in range(num_ports)}
         # queue_id -> readiness flag; the Scratch bit-array of 3.4.3.
         self.ready_bits: List[bool] = []
@@ -162,6 +164,16 @@ class QueueBank:
         ok = queue.enqueue(descriptor)
         if ok:
             self.ready_bits[queue.queue_id] = True
+            rec = self.recorder
+            if rec.enabled:
+                rec.sample_queue(descriptor.enqueue_cycle, queue.queue_id, len(queue._entries))
+                rec.record(
+                    descriptor.enqueue_cycle,
+                    f"queue{queue.queue_id}",
+                    "enqueue",
+                    rec.packet_id(descriptor.packet),
+                    queue.out_port,
+                )
         return ok
 
     # -- output side --------------------------------------------------------------

@@ -1,0 +1,40 @@
+"""Opt-in observability: packet tracing, cycle accounting, profiling.
+
+Kept import-light on purpose: :mod:`repro.engine.sim` imports the null
+recorder from here, so this package must not (transitively) import the
+engine at module load.  The heavier pieces -- the periodic samplers
+(:mod:`repro.obs.accounting`) and the profile scenarios
+(:mod:`repro.obs.profile`) -- are imported lazily by their callers.
+
+Entry points:
+
+* ``chip.enable_observability()`` / ``router.enable_observability()``
+  attach a live :class:`Recorder` to every hook;
+* ``python -m repro profile <scenario>`` renders the per-stage cost
+  table and exports the trace as JSON;
+* :mod:`repro.obs.export` serializes any report structure to *valid*
+  JSON (non-finite floats sanitized).
+
+See ``docs/observability.md`` for the recorder API and trace schema.
+"""
+
+from repro.obs.export import dumps, sanitize, trace_hash, trace_to_csv
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    RingBuffer,
+    TraceEvent,
+)
+
+__all__ = [
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "RingBuffer",
+    "TraceEvent",
+    "dumps",
+    "sanitize",
+    "trace_hash",
+    "trace_to_csv",
+]

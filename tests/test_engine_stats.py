@@ -82,10 +82,28 @@ def test_histogram_stddev():
     assert histogram.stddev == pytest.approx(2.0)
 
 
+def test_histogram_stddev_is_stable_for_large_offsets():
+    # The old sum-of-squares formula cancels catastrophically when the
+    # mean dwarfs the spread (cycle timestamps in the billions); Welford's
+    # recurrence keeps full precision.
+    histogram = Histogram()
+    for value in [1e9, 1e9 + 1, 1e9 + 2]:
+        histogram.record(value)
+    assert histogram.stddev == pytest.approx((2 / 3) ** 0.5, rel=1e-9)
+
+
 def test_histogram_empty():
     histogram = Histogram()
     assert histogram.mean == 0.0
     assert histogram.stddev == 0.0
+    assert histogram.bucket_items() == [("(-inf, +inf)", 0)]
+
+
+def test_histogram_unbounded_counts_in_catchall_bucket():
+    histogram = Histogram()
+    for value in [1, 10, 100]:
+        histogram.record(value)
+    assert histogram.bucket_items() == [("(-inf, +inf)", 3)]
 
 
 def test_statset_is_memoized_registry():
@@ -104,3 +122,35 @@ def test_statset_snapshot():
     assert snap["drops"] == 3
     assert snap["lat.mean"] == 10
     assert snap["lat.count"] == 1
+
+
+def test_statset_snapshot_includes_every_stat_kind():
+    # snapshot() used to silently omit rates and time-weighted stats, so
+    # reports built from it under-described the components.
+    stats = StatSet()
+    stats.counter("drops").add(2)
+    stats.rate("fwd").record(50, amount=10)
+    stats.time_weighted("depth").update(40, 5.0)
+    stats.histogram("lat").record(7)
+    snap = stats.snapshot(now=100)
+    assert snap["drops"] == 2
+    assert snap["fwd.count"] == 10
+    assert snap["fwd.rate_per_cycle"] == pytest.approx(0.1)
+    assert snap["depth.current"] == 5.0
+    assert snap["depth.max"] == 5.0
+    assert snap["depth.mean"] == pytest.approx(5.0 * 60 / 100)
+    assert snap["lat.mean"] == 7
+    # Without ``now``, rates close at their last-recorded cycle and the
+    # weighted mean (which needs an end point) is omitted.
+    partial = stats.snapshot()
+    assert partial["fwd.rate_per_cycle"] == pytest.approx(10 / 50)
+    assert "depth.mean" not in partial
+    assert partial["depth.max"] == 5.0
+
+
+def test_statset_snapshot_zero_length_rate_window_is_zero():
+    stats = StatSet()
+    stats.rate("fwd")  # never recorded: zero elapsed cycles
+    snap = stats.snapshot()
+    assert snap["fwd.count"] == 0
+    assert snap["fwd.rate_per_cycle"] == 0.0

@@ -28,6 +28,14 @@ def test_example_runs_clean(name, capsys):
     assert "===" in output  # every example prints a banner
 
 
+def test_performance_monitoring_reports_observability(capsys):
+    """The monitoring example doubles as the observability demo: it must
+    print recorder-derived infrastructure stats alongside flow counters."""
+    output = run_example("performance_monitoring.py", capsys)
+    assert "traced packets" in output
+    assert "trace hash" in output
+
+
 def test_all_examples_present():
     expected = {
         "quickstart.py", "performance_monitoring.py", "tcp_splicing_proxy.py",
