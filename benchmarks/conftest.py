@@ -39,3 +39,48 @@ def _fmt(value) -> str:
     if isinstance(value, float):
         return f"{value:.3g}"
     return str(value)
+
+
+# ---------------------------------------------------------------------------
+# Benchmark trajectory: BENCH_<module>.json at the repo root
+# ---------------------------------------------------------------------------
+
+
+def _module_of(fullname: str) -> str:
+    """``benchmarks/bench_x.py::test_y[param]`` -> ``bench_x``."""
+    path = fullname.split("::", 1)[0]
+    stem = path.replace("\\", "/").rsplit("/", 1)[-1]
+    return stem[:-3] if stem.endswith(".py") else stem
+
+
+def _test_of(fullname: str) -> str:
+    return fullname.split("::", 1)[-1] if "::" in fullname else fullname
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Serialize every bench's paper-vs-measured rows plus wall time into
+    ``BENCH_<module>.json`` (repo root, or ``$REPRO_BENCH_ROOT``), giving
+    future PRs a machine-readable perf baseline to diff against."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not getattr(bench_session, "benchmarks", None):
+        return
+    from repro.obs.bench_record import record_benchmark
+
+    modules: Dict[str, Dict[str, dict]] = {}
+    for bench in bench_session.benchmarks:
+        extra = dict(getattr(bench, "extra_info", {}) or {})
+        if not extra:
+            continue
+        stats = getattr(bench, "stats", None)
+        total = getattr(stats, "total", None) if stats is not None else None
+        modules.setdefault(_module_of(bench.fullname), {})[
+            _test_of(bench.fullname)
+        ] = {
+            "wall_time_s": total,
+            "rows": extra,
+        }
+    for module, tests in sorted(modules.items()):
+        rows: Dict[str, dict] = {}
+        for test in sorted(tests):
+            rows.update(tests[test]["rows"])
+        record_benchmark(module, rows, tests=tests)

@@ -77,4 +77,40 @@ def generate_report(quick: bool = True, window: int = None) -> str:
         ("lossless", "yes", str(result.lossless)),
     ]))
     lines.append("")
+
+    # One instrumented router run feeds both observability sections: the
+    # watchdog verdicts and the per-stage latency decomposition.
+    from repro.obs.analysis import latency_report
+    from repro.obs.monitor import monitor_scenario
+
+    monitored = monitor_scenario("router", window=max(window, 60_000),
+                                 warmup=15_000)
+    lines.append("## Health watchdog")
+    lines.extend([
+        "| rule | state | detail |",
+        "|---|---|---|",
+    ])
+    for rule in monitored.results:
+        lines.append(f"| {rule.rule} | {rule.level} | {rule.detail} |")
+    lines.append(f"incidents: {len(monitored.incidents)}")
+    lines.append("")
+
+    lines.append("## Latency decomposition")
+    latency = latency_report(monitored.monitor.recorder)
+    lines.extend([
+        "| path | packets | p50 (cycles) | p99 (cycles) | dominant stage |",
+        "|---|---|---|---|---|",
+    ])
+    for path, block in latency["paths"].items():
+        if "end_to_end" not in block:
+            lines.append(f"| {path} | {block['packets']} | - | - | - |")
+            continue
+        e2e = block["end_to_end"]
+        top = max(block["critical_path"].items(),
+                  key=lambda kv: kv[1]["packets"], default=(None, None))
+        lines.append(
+            f"| {path} | {block['packets']} | {e2e['p50']:.0f} | "
+            f"{e2e['p99']:.0f} | {top[0] or '-'} |"
+        )
+    lines.append("")
     return "\n".join(lines)

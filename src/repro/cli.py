@@ -7,6 +7,8 @@
     python -m repro fig9 --window 150000
     python -m repro envelope             # closed-form arithmetic
     python -m repro plan 100 100 1000    # resource model for port speeds (Mbps)
+    python -m repro profile router --format chrome   # chrome://tracing export
+    python -m repro monitor router       # health watchdog; exit 1 on red
 """
 
 from __future__ import annotations
@@ -124,12 +126,48 @@ def cmd_profile(args) -> None:
 
     result = profile_scenario(args.scenario, window=args.window)
     print(result.table())
-    out = args.trace_out or f"repro-trace-{args.scenario}.json"
+    fmt = getattr(args, "format", "json") or "json"
+    suffix = {"json": "json", "csv": "csv", "chrome": "chrome.json"}[fmt]
+    out = args.trace_out or f"repro-trace-{args.scenario}.{suffix}"
+    if fmt == "csv":
+        payload = result.to_csv()
+    elif fmt == "chrome":
+        payload = result.to_chrome(indent=None)
+    else:
+        payload = result.to_json(include_trace=True, indent=2)
     with open(out, "w") as fh:
-        fh.write(result.to_json(include_trace=True, indent=2))
-    print(f"trace written to {out}")
+        fh.write(payload)
+    print(f"trace written to {out} ({fmt})")
     if args.json:
         print(result.to_json(include_trace=False, indent=2))
+
+
+def cmd_monitor(args) -> int:
+    from repro.obs.monitor import monitor_scenario
+
+    def narrate(results) -> None:
+        worst = max(results, key=lambda r: ("green", "yellow", "red").index(r.level))
+        print(f"  [{worst.level.upper():<6}] "
+              + "  ".join(f"{r.rule}={r.level}" for r in results))
+
+    result = monitor_scenario(
+        args.scenario,
+        window=args.window,
+        warmup=args.warmup,
+        period=args.period,
+        on_evaluate=None if args.quiet else narrate,
+    )
+    print(result.monitor.health_table())
+    if args.json:
+        print(result.to_json(indent=2))
+    if args.incidents_out:
+        from repro.obs import export
+
+        with open(args.incidents_out, "w") as fh:
+            fh.write(export.dumps({"scenario": args.scenario,
+                                   "incidents": result.incidents}, indent=2))
+        print(f"incident log written to {args.incidents_out}")
+    return result.exit_code()
 
 
 def cmd_plan(args) -> None:
@@ -163,6 +201,7 @@ COMMANDS: Dict[str, Callable] = {
     "plan": cmd_plan,
     "report": cmd_report,
     "profile": cmd_profile,
+    "monitor": cmd_monitor,
 }
 
 
@@ -186,21 +225,51 @@ def main(argv=None) -> int:
     profile_parser = sub.add_parser(
         "profile", help="per-stage cycle accounting + packet trace for a scenario"
     )
-    profile_parser.add_argument("scenario", choices=("fastpath", "vrp", "router"),
+    profile_parser.add_argument("scenario",
+                                choices=("fastpath", "vrp", "router", "overload"),
                                 help="which demo scenario to instrument")
     profile_parser.add_argument("--window", type=int, default=120_000,
                                 help="measurement window in cycles (default 120000)")
     profile_parser.add_argument("--trace-out", default=None,
-                                help="trace JSON path (default repro-trace-<scenario>.json)")
+                                help="trace output path (default repro-trace-<scenario>.<ext>)")
+    profile_parser.add_argument("--format", choices=("json", "csv", "chrome"),
+                                default="json",
+                                help="trace export format: full JSON, CSV spans, or "
+                                "Chrome traceEvents for chrome://tracing (default json)")
     profile_parser.add_argument("--json", action="store_true",
                                 help="also print the profile (without trace) as JSON")
+    monitor_parser = sub.add_parser(
+        "monitor", help="run the health watchdog over a scenario; exits "
+        "non-zero when any rule is red"
+    )
+    monitor_parser.add_argument("scenario",
+                                choices=("fastpath", "vrp", "router", "overload"),
+                                help="which scenario to monitor "
+                                "(overload is deliberately unhealthy)")
+    monitor_parser.add_argument("--window", type=int, default=120_000,
+                                help="monitored window in cycles (default 120000)")
+    monitor_parser.add_argument("--warmup", type=int, default=20_000,
+                                help="unmonitored warmup cycles (default 20000)")
+    monitor_parser.add_argument("--period", type=int, default=10_000,
+                                help="cycles between rule evaluations (default 10000)")
+    monitor_parser.add_argument("--quiet", action="store_true",
+                                help="suppress per-evaluation status lines")
+    monitor_parser.add_argument("--json", action="store_true",
+                                help="also print the monitor result as JSON")
+    monitor_parser.add_argument("--incidents-out", default=None,
+                                help="write the structured incident log to this path")
 
     args = parser.parse_args(argv)
     if args.command in (None, "list"):
+        from repro.obs.profile import SCENARIO_DESCRIPTIONS
+
         print("experiments:", ", ".join(COMMANDS))
+        print("profile/monitor scenarios:")
+        for name, description in SCENARIO_DESCRIPTIONS.items():
+            print(f"  {name:<10} {description}")
         return 0
-    COMMANDS[args.command](args)
-    return 0
+    rc = COMMANDS[args.command](args)
+    return int(rc or 0)
 
 
 if __name__ == "__main__":

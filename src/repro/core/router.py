@@ -153,6 +153,23 @@ class Router:
                        name="obs-host-sampler")
         return recorder
 
+    def health_monitor(self, period: Optional[int] = None, rules=None):
+        """Attach the health watchdog (see :mod:`repro.obs.monitor`) to
+        this router, enabling observability first if needed.  With a
+        ``period`` the monitor is also spawned as a simulation process
+        evaluating every ``period`` cycles; otherwise call
+        ``monitor.evaluate()`` whenever a verdict is wanted."""
+        from repro.obs.monitor import HealthMonitor
+        from repro.obs.recorder import NULL_RECORDER
+
+        if self.chip.recorder is NULL_RECORDER:
+            self.enable_observability()
+        monitor = HealthMonitor(self.chip, self.chip.recorder, router=self,
+                                rules=rules, budget=self.config.budget)
+        if period is not None:
+            self.sim.spawn(monitor.process(period), name="health-monitor")
+        return monitor
+
     # -- boot helpers -------------------------------------------------------------
 
     def _boot_strongarm_services(self) -> None:

@@ -119,5 +119,11 @@ class I2OQueuePair:
     def occupancy(self) -> int:
         return len(self.full)
 
+    @property
+    def occupancy_fraction(self) -> float:
+        """Full-queue occupancy as a fraction of depth: 1.0 means the
+        next ``try_send`` backpressures."""
+        return len(self.full) / self.depth
+
     def __repr__(self) -> str:
         return f"<I2OQueuePair {self.name} {self.occupancy}/{self.depth} full>"

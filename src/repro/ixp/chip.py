@@ -560,7 +560,12 @@ class IXP1200:
         out_port = descriptor.out_port
         if descriptor.packet is not None:
             out_port = descriptor.packet.meta.get("out_port", out_port)
-            descriptor = descriptor._replace(out_port=out_port)
+        # Re-stamp the enqueue cycle: the descriptor's original stamp is
+        # from before the StrongARM round trip, so reusing it would (a)
+        # break per-packet event monotonicity in the trace and (b) fold
+        # the whole exceptional-path excursion into the queue-wait
+        # statistic instead of the actual time spent in this queue.
+        descriptor = descriptor._replace(out_port=out_port, enqueue_cycle=self.sim.now)
         queue = self.bank.input_queue_for(max(0, out_port))
         ok = self.bank.enqueue(queue, descriptor)
         rec = self.recorder
@@ -575,6 +580,21 @@ class IXP1200:
         return ok
 
     # -- measurement ------------------------------------------------------------------
+
+    def counter_deltas(self, since: Dict[str, int]) -> Dict[str, int]:
+        """Counter movement since a ``dict(self.counters)`` snapshot --
+        the health monitor's per-evaluation view, independent of the
+        measurement window machinery."""
+        return {k: v - since.get(k, 0) for k, v in self.counters.items()}
+
+    def max_queue_depth_fraction(self) -> float:
+        """The fullest SRAM packet queue right now, as a fraction of its
+        capacity (0.0 when every queue is empty or unbounded)."""
+        worst = 0.0
+        for queue in self.bank.queues:
+            if queue.capacity > 0:
+                worst = max(worst, len(queue) / queue.capacity)
+        return worst
 
     def start_window(self) -> None:
         self._snapshot = dict(self.counters)

@@ -1,17 +1,25 @@
-"""Opt-in observability: packet tracing, cycle accounting, profiling.
+"""Opt-in observability: tracing, accounting, analytics, health.
 
 Kept import-light on purpose: :mod:`repro.engine.sim` imports the null
 recorder from here, so this package must not (transitively) import the
 engine at module load.  The heavier pieces -- the periodic samplers
-(:mod:`repro.obs.accounting`) and the profile scenarios
-(:mod:`repro.obs.profile`) -- are imported lazily by their callers.
+(:mod:`repro.obs.accounting`), the profile scenarios
+(:mod:`repro.obs.profile`), the trace analytics
+(:mod:`repro.obs.analysis`), the health watchdog
+(:mod:`repro.obs.monitor`) and the bench trajectory recorder
+(:mod:`repro.obs.bench_record`) -- are imported lazily by their callers
+(or via the module-level ``__getattr__`` below).
 
 Entry points:
 
 * ``chip.enable_observability()`` / ``router.enable_observability()``
   attach a live :class:`Recorder` to every hook;
 * ``python -m repro profile <scenario>`` renders the per-stage cost
-  table and exports the trace as JSON;
+  table and exports the trace as JSON/CSV/Chrome-trace;
+* ``python -m repro monitor <scenario>`` runs the health watchdog and
+  exits non-zero on red rules;
+* :func:`repro.obs.analysis.latency_report` answers "where did this
+  packet's latency go?" with per-stage percentiles;
 * :mod:`repro.obs.export` serializes any report structure to *valid*
   JSON (non-finite floats sanitized).
 
@@ -37,4 +45,21 @@ __all__ = [
     "sanitize",
     "trace_hash",
     "trace_to_csv",
+    # Lazy submodules (resolved on first attribute access, preserving
+    # the import-light contract above).
+    "accounting",
+    "analysis",
+    "bench_record",
+    "monitor",
+    "profile",
 ]
+
+_LAZY_SUBMODULES = ("accounting", "analysis", "bench_record", "monitor", "profile")
+
+
+def __getattr__(name: str):
+    if name in _LAZY_SUBMODULES:
+        import importlib
+
+        return importlib.import_module(f"repro.obs.{name}")
+    raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")

@@ -1,0 +1,120 @@
+"""Machine-readable benchmark trajectory: ``BENCH_<name>.json``.
+
+Every benchmark module already prints a paper-vs-measured table through
+``benchmarks/conftest.py``'s ``report()`` helper and mirrors the rows
+into pytest-benchmark's ``extra_info``.  This module serializes those
+rows, plus wall time, into one JSON file per bench module at the repo
+root -- the perf baseline future PRs diff against.
+
+Schema (``repro-bench-trajectory-v1``)::
+
+    {
+      "schema": "repro-bench-trajectory-v1",
+      "bench": "bench_engine_kernel",
+      "wall_time_s": 12.8,
+      "rows": {"events/s": {"paper": null, "measured": 2.1e6}, ...},
+      "tests": {
+        "test_kernel_throughput": {
+          "wall_time_s": 3.1,
+          "rows": {"events/s": {"paper": null, "measured": 2.1e6}}
+        }, ...
+      }
+    }
+
+``rows`` at the top level is the union across the module's tests (later
+tests win on key collisions, mirroring how the printed tables stack).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs import export
+
+SCHEMA = "repro-bench-trajectory-v1"
+
+#: Environment override for where BENCH_*.json land (tests point this at
+#: a tmp dir; CI leaves it unset so files land at the repo root).
+ROOT_ENV = "REPRO_BENCH_ROOT"
+
+
+def bench_path(bench_name: str, root: Optional[str] = None) -> str:
+    """Where ``BENCH_<name>.json`` lives for ``bench_name``."""
+    if root is None:
+        root = os.environ.get(ROOT_ENV, ".")
+    return os.path.join(root, f"BENCH_{bench_name}.json")
+
+
+def record_benchmark(
+    bench_name: str,
+    rows: Dict[str, Dict[str, Any]],
+    tests: Optional[Dict[str, Dict[str, Any]]] = None,
+    wall_time_s: Optional[float] = None,
+    root: Optional[str] = None,
+) -> str:
+    """Write one bench module's trajectory file; returns its path.
+
+    ``rows`` maps metric name -> ``{"paper": ..., "measured": ...}``;
+    ``tests`` optionally maps test name -> ``{"wall_time_s", "rows"}``.
+    """
+    if wall_time_s is None and tests:
+        wall_time_s = sum(
+            t.get("wall_time_s") or 0.0 for t in tests.values()
+        )
+    doc = {
+        "schema": SCHEMA,
+        "bench": bench_name,
+        "wall_time_s": wall_time_s,
+        "rows": rows,
+        "tests": tests or {},
+    }
+    path = bench_path(bench_name, root)
+    with open(path, "w") as fh:
+        fh.write(export.dumps(doc, indent=2, sort_keys=True))
+        fh.write("\n")
+    return path
+
+
+def load_benchmark(bench_name: str, root: Optional[str] = None) -> Dict[str, Any]:
+    """Load and schema-check one trajectory file."""
+    path = bench_path(bench_name, root)
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: schema {doc.get('schema')!r}, expected {SCHEMA!r}"
+        )
+    return doc
+
+
+def diff_rows(
+    old: Dict[str, Any], new: Dict[str, Any], rel_threshold: float = 0.05
+) -> List[Tuple[str, Optional[float], Optional[float], Optional[float]]]:
+    """Metric-by-metric movement between two trajectory documents:
+    ``(metric, old_measured, new_measured, rel_change)`` for every
+    metric whose measured value moved by more than ``rel_threshold``
+    (or appeared/disappeared, with ``rel_change=None``)."""
+    out: List[Tuple[str, Optional[float], Optional[float], Optional[float]]] = []
+    old_rows = old.get("rows", {})
+    new_rows = new.get("rows", {})
+    for metric in sorted(set(old_rows) | set(new_rows)):
+        before = old_rows.get(metric, {}).get("measured")
+        after = new_rows.get(metric, {}).get("measured")
+        if not isinstance(before, (int, float)) or not isinstance(after, (int, float)):
+            if before != after:
+                out.append((metric, _num(before), _num(after), None))
+            continue
+        if before == 0:
+            if after != 0:
+                out.append((metric, float(before), float(after), None))
+            continue
+        rel = (after - before) / abs(before)
+        if abs(rel) > rel_threshold:
+            out.append((metric, float(before), float(after), rel))
+    return out
+
+
+def _num(value: Any) -> Optional[float]:
+    return float(value) if isinstance(value, (int, float)) else None

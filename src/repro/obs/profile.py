@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.obs import export
-from repro.obs.recorder import Recorder
+from repro.obs.recorder import Recorder, TraceEvent
 
 # Paper Table 2, for the side-by-side column: register cycles and
 # (reads, writes) per MP for each memory.
@@ -55,6 +55,7 @@ class ProfileResult:
     trace: Dict[str, Any]
     trace_hash: str
     notes: List[str] = field(default_factory=list)
+    events: List[TraceEvent] = field(default_factory=list)
 
     # -- rendering ---------------------------------------------------------
 
@@ -122,6 +123,17 @@ class ProfileResult:
         if include_trace:
             doc["trace"] = self.trace
         return export.dumps(doc, indent=indent)
+
+    def to_csv(self) -> str:
+        """The raw trace as CSV (``cycle,component,event,packet_id,detail``)."""
+        return export.trace_to_csv(self.events)
+
+    def to_chrome(self, indent: Optional[int] = None) -> str:
+        """The trace as Chrome ``traceEvents`` JSON -- open the file in
+        ``chrome://tracing`` or https://ui.perfetto.dev."""
+        from repro.obs.analysis import to_chrome_trace
+
+        return export.dumps(to_chrome_trace(self.events), indent=indent)
 
 
 # ---------------------------------------------------------------------------
@@ -214,6 +226,13 @@ def _collect(chip, recorder: Recorder, scenario: str, window: int, warmup: int,
         throughput.update(extra_throughput())
 
     events = recorder.events.to_list()
+    notes: List[str] = []
+    if recorder.dropped_events:
+        notes.append(
+            f"trace truncated: ring evicted {recorder.dropped_events} spans; "
+            "latency analytics cover the surviving suffix only "
+            "(raise trace_capacity to keep the full run)"
+        )
     return ProfileResult(
         scenario=scenario,
         window_cycles=m.window_cycles,
@@ -223,48 +242,110 @@ def _collect(chip, recorder: Recorder, scenario: str, window: int, warmup: int,
         queue_stats=recorder.queue_depth_stats(),
         trace=recorder.to_dict(),
         trace_hash=export.trace_hash(events),
+        notes=notes,
+        events=events,
     )
 
 
 # ---------------------------------------------------------------------------
 # Scenarios
+#
+# Builders are shared with :mod:`repro.obs.monitor`: both the profiler
+# and the health watchdog run the same constructions, so a scenario name
+# means the same experiment everywhere.
 # ---------------------------------------------------------------------------
 
 
-def _scenario_fastpath(window: int, warmup: int, sample_period: int,
-                       trace_capacity: int) -> ProfileResult:
+@dataclass
+class ScenarioRun:
+    """A built-but-not-yet-run scenario: the instrumented simulation
+    objects, ready for either profiling or health monitoring."""
+
+    name: str
+    chip: Any
+    recorder: Recorder
+    router: Any = None                     # set for hierarchy scenarios
+    extra_throughput: Optional[Callable[[], Dict[str, float]]] = None
+    description: str = ""
+
+    @property
+    def sim(self):
+        return self.chip.sim
+
+
+def _make_sim(scheduler: Optional[str]):
+    from repro.engine import Simulator
+
+    return Simulator(scheduler=scheduler)
+
+
+def _build_fastpath(sample_period: int, trace_capacity: int,
+                    scheduler: Optional[str] = None) -> ScenarioRun:
     """The paper's base configuration (I.2 + O.1) under synthetic load."""
     from repro.ixp.chip import ChipConfig, IXP1200
 
-    chip = IXP1200(ChipConfig())
+    chip = IXP1200(ChipConfig(), sim=_make_sim(scheduler))
     recorder = chip.enable_observability(
         Recorder(capacity=trace_capacity), sample_period=sample_period
     )
-    return _collect(chip, recorder, "fastpath", window, warmup)
+    return ScenarioRun(
+        "fastpath", chip, recorder,
+        description="base fast path (I.2 + O.1), synthetic infinitely-fast ports",
+    )
 
 
-def _scenario_vrp(window: int, warmup: int, sample_period: int,
-                  trace_capacity: int) -> ProfileResult:
+def _build_vrp(sample_period: int, trace_capacity: int,
+               scheduler: Optional[str] = None) -> ScenarioRun:
     """Fast path plus an 8-block VRP (Figure 9's mixed flavour), showing
     the VRP stage's SRAM traffic as a separate accounting row."""
     from repro.ixp.chip import ChipConfig, IXP1200
     from repro.ixp.programs import TimedVRP
 
-    chip = IXP1200(ChipConfig(vrp=TimedVRP.blocks(8)))
+    chip = IXP1200(ChipConfig(vrp=TimedVRP.blocks(8)), sim=_make_sim(scheduler))
     recorder = chip.enable_observability(
         Recorder(capacity=trace_capacity), sample_period=sample_period
     )
-    return _collect(chip, recorder, "vrp", window, warmup)
+    return ScenarioRun(
+        "vrp", chip, recorder,
+        description="fast path + 8-block VRP (Figure 9 mixed flavour)",
+    )
 
 
-def _scenario_router(window: int, warmup: int, sample_period: int,
-                     trace_capacity: int) -> ProfileResult:
+def _build_overload(sample_period: int, trace_capacity: int,
+                    scheduler: Optional[str] = None) -> ScenarioRun:
+    """A deliberately unhealthy router: a 40-block VRP (400 register
+    cycles + 40 SRAM transfers, far over the section 4.3 budget of
+    240/24) on shallow queues with the single-port synthetic pattern.
+    The watchdog must go red here -- this is the forced-failure scenario
+    the monitor CLI's non-zero exit path is tested against."""
+    from repro.ixp.chip import ChipConfig, IXP1200
+    from repro.ixp.programs import TimedVRP
+
+    chip = IXP1200(
+        ChipConfig(
+            vrp=TimedVRP.blocks(40),
+            queue_capacity=32,
+            synthetic_pattern="single",
+        ),
+        sim=_make_sim(scheduler),
+    )
+    recorder = chip.enable_observability(
+        Recorder(capacity=trace_capacity), sample_period=sample_period
+    )
+    return ScenarioRun(
+        "overload", chip, recorder,
+        description="misbehaving 40-block VRP over budget, shallow single-port queues",
+    )
+
+
+def _build_router(sample_period: int, trace_capacity: int,
+                  scheduler: Optional[str] = None) -> ScenarioRun:
     """The full hierarchy with real packets: MicroEngine fast path plus
     exceptional packets climbing to the StrongARM (route-cache misses)."""
     from repro.core.router import Router, RouterConfig
     from repro.net.traffic import flow_stream, round_robin_merge, take
 
-    router = Router(RouterConfig(num_ports=4))
+    router = Router(RouterConfig(num_ports=4), sim=_make_sim(scheduler))
     recorder = router.enable_observability(
         Recorder(capacity=trace_capacity), sample_period=sample_period
     )
@@ -284,24 +365,47 @@ def _scenario_router(window: int, warmup: int, sample_period: int,
             "transmitted": float(len(router.transmitted())),
         }
 
-    return _collect(router.chip, recorder, "router", window, warmup, extra_throughput=extra)
+    return ScenarioRun(
+        "router", router.chip, recorder, router=router, extra_throughput=extra,
+        description="full hierarchy, warm + cold flows (StrongARM route fills)",
+    )
 
 
-SCENARIOS: Dict[str, Callable[..., ProfileResult]] = {
-    "fastpath": _scenario_fastpath,
-    "vrp": _scenario_vrp,
-    "router": _scenario_router,
+SCENARIOS: Dict[str, Callable[..., ScenarioRun]] = {
+    "fastpath": _build_fastpath,
+    "vrp": _build_vrp,
+    "router": _build_router,
+    "overload": _build_overload,
+}
+
+SCENARIO_DESCRIPTIONS: Dict[str, str] = {
+    "fastpath": "base fast path (I.2 + O.1), synthetic load",
+    "vrp": "fast path + 8-block VRP (Figure 9)",
+    "router": "full hierarchy with real packets and StrongARM route fills",
+    "overload": "forced-unhealthy: 40-block VRP over budget, shallow queues",
 }
 
 
-def profile_scenario(name: str, window: int = 120_000, warmup: int = 20_000,
-                     sample_period: int = 2_000,
-                     trace_capacity: int = 65_536) -> ProfileResult:
-    """Run one named scenario under full observability."""
+def build_scenario(name: str, sample_period: int = 2_000,
+                   trace_capacity: int = 65_536,
+                   scheduler: Optional[str] = None) -> ScenarioRun:
+    """Construct one named scenario with observability attached, without
+    running it.  ``scheduler`` selects the event-queue implementation
+    (None = default), which the determinism tests vary."""
     try:
-        runner = SCENARIOS[name]
+        builder = SCENARIOS[name]
     except KeyError:
         raise ValueError(
             f"unknown profile scenario {name!r} (choose from {', '.join(SCENARIOS)})"
         ) from None
-    return runner(window, warmup, sample_period, trace_capacity)
+    return builder(sample_period, trace_capacity, scheduler)
+
+
+def profile_scenario(name: str, window: int = 120_000, warmup: int = 20_000,
+                     sample_period: int = 2_000,
+                     trace_capacity: int = 65_536,
+                     scheduler: Optional[str] = None) -> ProfileResult:
+    """Run one named scenario under full observability."""
+    run = build_scenario(name, sample_period, trace_capacity, scheduler)
+    return _collect(run.chip, run.recorder, name, window, warmup,
+                    extra_throughput=run.extra_throughput)

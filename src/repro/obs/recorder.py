@@ -80,6 +80,7 @@ class NullRecorder:
 
     __slots__ = ()
     enabled = False
+    dropped_events = 0
 
     def record(self, cycle: int, component: str, event: str,
                packet_id: Optional[int] = None, detail: Any = None) -> None:
@@ -161,6 +162,14 @@ class Recorder:
 
     # -- queries ----------------------------------------------------------
 
+    @property
+    def dropped_events(self) -> int:
+        """Spans lost to ring-buffer eviction.  Non-zero means the trace
+        no longer covers the whole run: packet *starts* are the first to
+        go, so analytics must flag their output as truncated rather than
+        silently reporting too-short latencies."""
+        return self.events.dropped
+
     def packet_timeline(self, packet_id: int) -> List[TraceEvent]:
         """All recorded spans for one packet, in cycle order."""
         return [e for e in self.events if e.packet_id == packet_id]
@@ -209,7 +218,8 @@ class Recorder:
         :func:`repro.obs.export.dumps` to guarantee valid JSON)."""
         return {
             "events": [list(e) for e in self.events],
-            "events_dropped": self.events.dropped,
+            "events_dropped": self.dropped_events,
+            "dropped_events": self.dropped_events,
             "accounting": self.accounting,
             "queue_series": {
                 str(qid): series.to_list() for qid, series in self.queue_series.items()

@@ -15,6 +15,8 @@ def test_report_contains_all_sections():
         "## Switching paths",
         "## Figure 9 anchor",
         "## Robustness",
+        "## Health watchdog",
+        "## Latency decomposition",
     ):
         assert heading in text
     # Markdown tables render with the three-column layout.

@@ -137,6 +137,29 @@ def test_recorder_utilization_derives_idle_remainder():
     assert rec.utilization(0) == {}
 
 
+def test_recorder_exposes_dropped_events():
+    """Eviction blindness fix: a wrapped ring is visible on the recorder
+    and in every export, so truncated analyses are flagged, not wrong."""
+    rec = Recorder(capacity=2)
+    for cycle in range(5):
+        rec.record(cycle, "chip", "mac_in", packet_id=cycle)
+    assert rec.dropped_events == 3
+    doc = rec.to_dict()
+    assert doc["dropped_events"] == 3
+    assert doc["events_dropped"] == 3  # legacy key kept
+    assert NULL_RECORDER.dropped_events == 0
+
+
+def test_profile_notes_flag_truncated_trace():
+    from repro.obs.profile import profile_scenario
+
+    result = profile_scenario("fastpath", window=20_000, warmup=5_000,
+                              trace_capacity=8)
+    assert result.trace["dropped_events"] > 0
+    assert any("truncated" in note for note in result.notes)
+    assert "truncated" in result.table()
+
+
 def test_recorder_queue_depth_stats():
     rec = Recorder()
     for cycle, depth in [(0, 1), (10, 3), (20, 2)]:
