@@ -1,0 +1,106 @@
+"""Fault-injection overhead: the disabled path must cost nothing.
+
+Two hard requirements on the subsystem (the same discipline the
+observability layer lives under):
+
+1. A run with injection left at its default (the null injector) must
+   process the *exact* event stream of the pre-fault-injection seed --
+   not "statistically close", bit-identical counters and event counts.
+2. An injector that is attached but has no armed faults must also be
+   event-identical: the hooks draw no randomness and take no branches
+   until a fault plan actually covers the packet.
+
+Wall-clock overhead is reported for the trajectory record; only the
+identity properties are hard assertions (timing is machine-noise).
+"""
+
+import time
+
+from conftest import report, run_once
+
+from repro.core.router import Router, RouterConfig
+from repro.net.traffic import flow_stream, take
+
+WINDOW = 40_000
+
+
+def _run_router(attach_injector: bool):
+    """One small router scenario; returns (events, counters, wall_s)."""
+    router = Router(RouterConfig(num_ports=2))
+    router.add_route("10.0.0.0", 16, 0)
+    router.add_route("10.1.0.0", 16, 1)
+    packets = take(flow_stream(400, src="192.168.1.2", src_port=5001,
+                               out_port=1, payload_len=6), 400)
+    router.warm_route_cache([p.ip.dst for p in packets])
+    if attach_injector:
+        # Attached and enabled, but with no faults armed: hooks run but
+        # must not branch, roll the RNG, or perturb the schedule.
+        router.enable_faults(seed=0)
+    router.inject(0, iter(packets))
+    t0 = time.perf_counter()
+    router.run(WINDOW)
+    wall = time.perf_counter() - t0
+    return router.sim._events_processed, dict(router.chip.counters), wall
+
+
+def test_disabled_run_event_stream_is_unchanged(benchmark):
+    """Null injector vs no injector vs armed-with-nothing injector: all
+    three process the identical event stream and counters."""
+
+    def run_all():
+        plain = _run_router(attach_injector=False)
+        plain_again = _run_router(attach_injector=False)
+        attached = _run_router(attach_injector=True)
+        return plain, plain_again, attached
+
+    plain, plain_again, attached = run_once(benchmark, run_all)
+    # Determinism of the harness itself.
+    assert plain[:2] == plain_again[:2]
+    # The attached-but-idle injector must be invisible to the simulation.
+    assert plain[:2] == attached[:2]
+    report(
+        benchmark,
+        "Fault-injection overhead (router scenario wall-clock)",
+        [
+            ("events (null injector)", None, plain[0]),
+            ("events (idle injector)", None, attached[0]),
+            ("disabled wall s", None, round(min(plain[2], plain_again[2]), 4)),
+            ("idle-injector wall s", None, round(attached[2], 4)),
+        ],
+        header=("path", "paper", "measured"),
+    )
+
+
+def test_armed_faults_change_the_event_stream(benchmark):
+    """Sanity check on the identity test's power: once a fault is armed
+    inside the window, the stream *does* change -- so the equality above
+    is not vacuously comparing streams injection cannot touch."""
+
+    def run_both():
+        idle = _run_router(attach_injector=True)
+
+        router = Router(RouterConfig(num_ports=2))
+        router.add_route("10.0.0.0", 16, 0)
+        router.add_route("10.1.0.0", 16, 1)
+        packets = take(flow_stream(400, src="192.168.1.2", src_port=5001,
+                                   out_port=1, payload_len=6), 400)
+        router.warm_route_cache([p.ip.dst for p in packets])
+        injector = router.enable_faults(seed=0)
+        injector.schedule_link_flap(router.ports[0], at=5_000,
+                                    down_cycles=5_000)
+        router.inject(0, iter(packets))
+        router.run(WINDOW)
+        armed = (router.sim._events_processed, dict(router.chip.counters))
+        return idle[:2], armed
+
+    idle, armed = run_once(benchmark, run_both)
+    assert idle != armed
+    report(
+        benchmark,
+        "Armed fault perturbs the stream (control)",
+        [
+            ("idle events", None, idle[0]),
+            ("armed events", None, armed[0]),
+        ],
+        header=("path", "paper", "measured"),
+    )

@@ -113,4 +113,24 @@ def generate_report(quick: bool = True, window: int = None) -> str:
             f"{e2e['p99']:.0f} | {top[0] or '-'} |"
         )
     lines.append("")
+
+    lines.append("## Fault matrix (seeded campaigns)")
+    from repro.faults.campaign import run_campaign
+
+    fault_window = max(window, 100_000)
+    lines.extend([
+        "| scenario | faults injected | incidents | invariants |",
+        "|---|---|---|---|",
+    ])
+    for result in run_campaign("all", seed=0, window=fault_window,
+                               warmup=15_000):
+        injected = sum(result.fault_counts.values())
+        passed = sum(1 for inv in result.invariants if inv["ok"])
+        verdict = ("all hold" if result.ok
+                   else f"{len(result.invariants) - passed} FAILED")
+        lines.append(
+            f"| {result.scenario} | {injected} | {len(result.incidents)} | "
+            f"{passed}/{len(result.invariants)} ({verdict}) |"
+        )
+    lines.append("")
     return "\n".join(lines)

@@ -170,6 +170,39 @@ def cmd_monitor(args) -> int:
     return result.exit_code()
 
 
+def cmd_faults(args) -> int:
+    from repro.faults.campaign import run_campaign
+    from repro.obs import export
+
+    results = run_campaign(args.scenario, seed=args.seed,
+                           window=args.window, warmup=args.warmup)
+    if args.json:
+        # Machine-readable mode: the JSON document is the whole output,
+        # so it can be piped straight into a parser.
+        print(export.dumps([r.to_dict() for r in results], indent=2,
+                           sort_keys=True))
+    else:
+        for result in results:
+            for line in result.table():
+                print(line)
+            print()
+    if args.incidents_out:
+        payload = (results[0].incident_log_json() if len(results) == 1 else
+                   export.dumps([r.to_dict() for r in results], indent=2,
+                                sort_keys=True))
+        with open(args.incidents_out, "w") as fh:
+            fh.write(payload)
+        if not args.json:
+            print(f"incident log written to {args.incidents_out}")
+    if not args.json:
+        failed = [r.scenario for r in results if not r.ok]
+        if failed:
+            print(f"INVARIANT VIOLATIONS in: {', '.join(failed)}")
+        else:
+            print(f"all invariants held across {len(results)} scenario(s)")
+    return max((r.exit_code() for r in results), default=0)
+
+
 def cmd_plan(args) -> None:
     from repro.core.resource_model import plan
     from repro.net.mac import PortSpeed
@@ -202,6 +235,7 @@ COMMANDS: Dict[str, Callable] = {
     "report": cmd_report,
     "profile": cmd_profile,
     "monitor": cmd_monitor,
+    "faults": cmd_faults,
 }
 
 
@@ -258,6 +292,26 @@ def main(argv=None) -> int:
                                 help="also print the monitor result as JSON")
     monitor_parser.add_argument("--incidents-out", default=None,
                                 help="write the structured incident log to this path")
+    faults_parser = sub.add_parser(
+        "faults", help="run a deterministic fault-injection campaign; "
+        "exits non-zero when any robustness invariant breaks"
+    )
+    faults_parser.add_argument(
+        "scenario",
+        choices=("pentium-crash", "strongarm-crash", "vrp-overrun",
+                 "link-flap", "memory-stress", "i2o-storm", "all"),
+        help="which fault scenario to replay (or all of them)")
+    faults_parser.add_argument("--seed", type=int, default=0,
+                               help="fault-schedule seed (default 0); the "
+                               "incident log is byte-identical per seed")
+    faults_parser.add_argument("--window", type=int, default=150_000,
+                               help="measurement window in cycles (default 150000)")
+    faults_parser.add_argument("--warmup", type=int, default=20_000,
+                               help="fault-free warmup cycles (default 20000)")
+    faults_parser.add_argument("--json", action="store_true",
+                               help="also print every campaign result as JSON")
+    faults_parser.add_argument("--incidents-out", default=None,
+                               help="write the canonical incident log to this path")
 
     args = parser.parse_args(argv)
     if args.command in (None, "list"):
@@ -267,6 +321,11 @@ def main(argv=None) -> int:
         print("profile/monitor scenarios:")
         for name, description in SCENARIO_DESCRIPTIONS.items():
             print(f"  {name:<10} {description}")
+        from repro.faults.campaign import SCENARIOS
+
+        print("fault scenarios (python -m repro faults <name> --seed N):")
+        for name in [*SCENARIOS, "all"]:
+            print(f"  {name}")
         return 0
     rc = COMMANDS[args.command](args)
     return int(rc or 0)

@@ -145,8 +145,17 @@ class AdmissionControl:
         if not ok:
             self._reject(f"{spec.name}: VRP budget exceeded ({reason})")
 
+        needed = program.instruction_count()
+        if needed > self.budget.istore_slots:
+            # Bigger than an *empty* engine store: no amount of removal
+            # can ever make room, so the error must say so rather than
+            # blaming current occupancy.
+            self._reject(
+                f"{spec.name}: {needed} instructions can never fit an input "
+                f"engine's {self.budget.istore_slots}-slot ISTORE -- split "
+                "the forwarder or shrink its program"
+            )
         if istores:
-            needed = program.instruction_count()
             for store in istores:
                 if needed > store.free_slots:
                     self._reject(
@@ -154,14 +163,27 @@ class AdmissionControl:
                         f"{store.free_slots} free on an input engine"
                     )
 
+    def _declared_host_cycles(self, spec: ForwarderSpec) -> int:
+        """A host forwarder's declared cycles/packet; zero or negative is
+        a lie admission cannot reason about, so it is rejected."""
+        declared = max(spec.cycles, spec.expected_cycles_per_packet)
+        if declared <= 0:
+            self._reject(
+                f"{spec.name}: declared cycle cost {declared} must be "
+                "positive -- admission reserves capacity from the declared "
+                "cycles/packet (set cycles or expected_cycles_per_packet)"
+            )
+        return declared
+
     def _check_strongarm(self, spec: ForwarderSpec) -> None:
+        declared = self._declared_host_cycles(spec)
         if self.strongarm.local_forwarder_fraction <= 0.0:
             self._reject(
                 f"{spec.name}: the StrongARM's capacity is reserved for "
                 "bridging packets to the Pentium (section 4.6)"
             )
         available = self.strongarm.clock_hz * self.strongarm.local_forwarder_fraction
-        demand = spec.expected_pps * max(spec.cycles, spec.expected_cycles_per_packet)
+        demand = spec.expected_pps * declared
         if demand > available:
             self._reject(
                 f"{spec.name}: needs {demand:.0f} StrongARM cycles/s, "
@@ -169,6 +191,7 @@ class AdmissionControl:
             )
 
     def _check_pentium(self, spec: ForwarderSpec, table: FlowTable) -> None:
+        declared = self._declared_host_cycles(spec)
         existing = [
             e.spec for e in table.general_entries + table.per_flow_entries
             if e.spec.where is Where.PE
@@ -179,7 +202,7 @@ class AdmissionControl:
                 f"{spec.name}: total expected packet rate {total_pps:.0f} pps "
                 f"exceeds the Pentium path maximum {self.pentium.max_pps:.0f} pps"
             )
-        cycle_rate = spec.expected_pps * max(spec.cycles, spec.expected_cycles_per_packet)
+        cycle_rate = spec.expected_pps * declared
         cycle_rate += sum(
             s.expected_pps * max(s.cycles, s.expected_cycles_per_packet) for s in existing
         )

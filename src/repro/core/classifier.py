@@ -29,9 +29,6 @@ CLASSIFIER_INSTRUCTIONS = 56
 CLASSIFIER_SRAM_BYTES = 20
 CLASSIFIER_HASHES = 2  # IP headers and TCP headers hashed separately
 
-_fid_counter = itertools.count(1)
-
-
 @dataclass
 class FlowEntry:
     """One row of the flow metadata table the StrongARM maintains."""
@@ -58,6 +55,9 @@ class FlowTable:
         self._general: List[FlowEntry] = []
         self._by_fid: Dict[int, FlowEntry] = {}
         self._listeners: List = []
+        # Per-table, not module-global: fids must be reproducible run to
+        # run so fault-campaign incident logs are byte-identical per seed.
+        self._fid_counter = itertools.count(1)
 
     def add_listener(self, callback) -> None:
         """Register an invalidation callback fired on every add/remove
@@ -67,7 +67,7 @@ class FlowTable:
 
     def add(self, key, spec: ForwarderSpec, sram_addr: int = 0, istore_offset: int = 0) -> FlowEntry:
         entry = FlowEntry(
-            fid=next(_fid_counter),
+            fid=next(self._fid_counter),
             key=key,
             spec=spec,
             state=dict(spec.initial_state),

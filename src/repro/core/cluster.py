@@ -105,6 +105,11 @@ class RouterCluster:
                 )
 
     def inject(self, member: int, port: int, packets: Iterable[Packet]) -> None:
+        if not 0 <= member < len(self.routers):
+            raise ValueError(
+                f"no member {member}: valid members are 0..{len(self.routers) - 1}"
+            )
+        # Router.inject validates the port id and names the valid range.
         self.routers[member].inject(port, packets)
 
     def run(self, cycles: int) -> None:

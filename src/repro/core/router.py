@@ -125,6 +125,12 @@ class Router:
             )
             self.sim.spawn(self._pentium_return_loop(), name="pentium-return")
 
+        # Fault-injection / runtime-enforcement attach points (None until
+        # enable_faults / enable_vrp_watchdog; the hot path only pays an
+        # ``is not None`` check).
+        self.injector = None
+        self._vrp_watchdog = None
+
         # Control interface over the input engines' instruction stores.
         self.interface = RouterInterfaceFactory.build(self)
         self._boot_strongarm_services()
@@ -152,6 +158,28 @@ class Router:
         self.sim.spawn(host_sampler(self.sim, recorder, probes, period),
                        name="obs-host-sampler")
         return recorder
+
+    def enable_faults(self, injector=None, seed: int = 0):
+        """Attach a deterministic fault injector (see
+        :mod:`repro.faults.injector`) across the whole hierarchy: every
+        MAC port and both I2O queue pairs point at it, and scheduled
+        faults (crashes, stalls, spikes) target this router's parts."""
+        from repro.faults.injector import FaultInjector
+
+        if injector is None:
+            injector = FaultInjector(self.sim, seed=seed)
+        return injector.attach_router(self)
+
+    def enable_vrp_watchdog(self, strike_limit: int = 8, slack_cycles: int = 0):
+        """Attach runtime VRP budget enforcement (see
+        :mod:`repro.faults.recovery`): forwarders whose measured per-MP
+        cost overruns their verified IR for ``strike_limit`` consecutive
+        packets are quarantined off the fast path."""
+        from repro.faults.recovery import VRPWatchdog
+
+        self._vrp_watchdog = VRPWatchdog(self, strike_limit=strike_limit,
+                                         slack_cycles=slack_cycles)
+        return self._vrp_watchdog
 
     def health_monitor(self, period: Optional[int] = None, rules=None):
         """Attach the health watchdog (see :mod:`repro.obs.monitor`) to
@@ -293,7 +321,11 @@ class Router:
         if item.packet is None:
             return chip.config.vrp
         entry = item.packet.meta.get("flow_entry")
-        return self.classifier.timed_vrp_for(entry)
+        vrp = self.classifier.timed_vrp_for(entry)
+        watchdog = self._vrp_watchdog
+        if watchdog is not None and entry is not None and item.is_first:
+            return watchdog.observe(entry, vrp, item)
+        return vrp
 
     def _pentium_return_loop(self):
         """Drain packets the Pentium handed back and requeue them on the
@@ -342,6 +374,10 @@ class Router:
 
     def inject(self, port_id: int, packets: Iterable[Packet]) -> None:
         """Deliver a packet stream to an ingress port at line speed."""
+        if not 0 <= port_id < len(self.ports):
+            raise ValueError(
+                f"no port {port_id}: valid ports are 0..{len(self.ports) - 1}"
+            )
         self.ports[port_id].attach_source(packets)
 
     def run(self, cycles: int) -> None:
@@ -359,6 +395,11 @@ class Router:
         if self.pentium is not None:
             snap["pentium_processed"] = self.pentium.processed
         snap["classifier_failures"] = self.classifier.validation_failures
+        snap["sa_bridge_dropped"] = self.strongarm.bridge_dropped
+        snap["i2o_messages_lost"] = (self.to_pentium.messages_lost
+                                     + self.from_pentium.messages_lost)
+        if self._vrp_watchdog is not None:
+            snap["vrp_quarantined"] = len(self._vrp_watchdog.quarantined)
         return snap
 
 

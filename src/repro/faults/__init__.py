@@ -1,0 +1,28 @@
+"""Deterministic fault injection, runtime enforcement, and recovery.
+
+Import-light on purpose: the hot-path hook sites (``net/mac.py``,
+``hosts/pci.py``) import :data:`NULL_INJECTOR` from here, so this module
+must not pull in the campaign machinery (which imports the router and
+would create a cycle).  ``repro.faults.campaign`` and
+``repro.faults.recovery`` are imported explicitly by their users.
+"""
+
+from repro.faults.injector import (
+    NULL_INJECTOR,
+    RX_CORRUPT,
+    RX_DROP,
+    RX_DUPLICATE,
+    RX_OK,
+    FaultInjector,
+    NullInjector,
+)
+
+__all__ = [
+    "NULL_INJECTOR",
+    "NullInjector",
+    "FaultInjector",
+    "RX_OK",
+    "RX_DROP",
+    "RX_CORRUPT",
+    "RX_DUPLICATE",
+]

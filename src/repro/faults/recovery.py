@@ -1,0 +1,159 @@
+"""Runtime enforcement: quarantine forwarders that overrun their
+*declared* VRP budget.
+
+Static admission control (:mod:`repro.core.admission`) inspects a
+program's IR the way the paper's verifier inspects microcode -- but a
+verifier cannot see runtime behaviour, only declared ops.  A forwarder
+whose compiled code runs longer than its IR promises slips through
+admission and eats the input stage's cycle budget at run time.  The
+:class:`VRPWatchdog` closes that gap: it compares the per-MP timing the
+classifier actually charges against the timing *derived from the
+verified IR*, counts consecutive overrunning packets per flow, and after
+``strike_limit`` strikes removes the forwarder through the normal
+control interface (freeing its ISTORE segments and flow state).  The
+quarantined flow's packets fall back to the default IP fast path -- the
+router keeps forwarding, which is the section 4.7 property the static
+check alone cannot guarantee.
+
+:class:`OverrunningVRPProgram` is the attack half: a program that
+declares honest ops but compiles to inflated runtime cost, used by the
+fault campaigns to prove the watchdog fires within a bounded number of
+packets.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.forwarder import Where
+from repro.core.vrp import VRPProgram
+
+
+class OverrunningVRPProgram(VRPProgram):
+    """A forwarder that lies to the verifier.
+
+    ``ops`` (and therefore :meth:`cost` / :meth:`instruction_count`, the
+    views admission control checks) are honest; :meth:`to_timed` -- the
+    compiled code the MicroEngines actually execute -- runs
+    ``overrun_cycles`` extra register cycles per MP.
+    """
+
+    def __init__(self, name: str, ops, overrun_cycles: int,
+                 action=None, registers_needed: int = 0):
+        super().__init__(name, ops, action=action,
+                         registers_needed=registers_needed)
+        self.overrun_cycles = int(overrun_cycles)
+
+    def to_timed(self):
+        honest = VRPProgram.to_timed(self)
+        return honest._replace(reg_cycles=honest.reg_cycles + self.overrun_cycles)
+
+
+class VRPWatchdog:
+    """Per-flow runtime budget enforcement on the fast path.
+
+    Hooked into ``Router._vrp_resolver`` (one ``is not None`` check per
+    MP when disabled, evaluated once per packet when enabled).  For each
+    classified packet it compares the combined per-MP timing against the
+    cost derived from the installed programs' verified IR; ``strike_limit``
+    *consecutive* overrunning packets quarantine the per-flow forwarder.
+    """
+
+    def __init__(self, router, strike_limit: int = 8, slack_cycles: int = 0):
+        self.router = router
+        self.strike_limit = max(1, strike_limit)
+        #: Cycles of measured-over-declared tolerated before a strike.
+        self.slack_cycles = slack_cycles
+        self.strikes: Dict[int, int] = {}
+        #: fid -> quarantine incident, for everything ever removed.
+        self.quarantined: Dict[int, Dict[str, Any]] = {}
+        self.incidents: List[Dict[str, Any]] = []
+        self._declared_cache: Dict[Tuple[int, int], Tuple[int, int, int, int]] = {}
+
+    # -- declared cost ---------------------------------------------------------
+
+    def _declared(self, entry) -> Tuple[int, int, int, int]:
+        """The per-MP (reg, sram reads, sram writes, hashes) the verified
+        IR promises for a packet of this flow: the per-flow program plus
+        every general ME program, timed through the *base-class*
+        compiler so a runtime override cannot also forge the baseline."""
+        classifier = self.router.classifier
+        key = (entry.fid, classifier._generation)
+        cached = self._declared_cache.get(key)
+        if cached is not None:
+            return cached
+        programs = []
+        if entry.spec.where is Where.ME and entry.spec.program is not None:
+            programs.append(entry.spec.program)
+        for general in self.router.flow_table.general_entries:
+            if general.spec.where is Where.ME and general.spec.program is not None:
+                programs.append(general.spec.program)
+        reg = reads = writes = hashes = 0
+        for program in programs:
+            honest = VRPProgram.to_timed(program)
+            reg += honest.reg_cycles
+            reads += honest.sram_reads
+            writes += honest.sram_writes
+            hashes += honest.hashes
+        cached = (reg, reads, writes, hashes)
+        self._declared_cache[key] = cached
+        return cached
+
+    # -- the per-packet check --------------------------------------------------
+
+    def observe(self, entry, vrp, item):
+        """Called by the router's VRP resolver on a packet's first MP;
+        returns the TimedVRP to charge (possibly the post-quarantine
+        fallback)."""
+        fid = entry.fid
+        if fid in self.quarantined:
+            # Classified before removal but resolved after: bill the
+            # general-forwarder path only.
+            return self._general_only(item)
+        declared = self._declared(entry)
+        over = (vrp.reg_cycles > declared[0] + self.slack_cycles
+                or vrp.sram_reads > declared[1]
+                or vrp.sram_writes > declared[2]
+                or vrp.hashes > declared[3])
+        if not over:
+            if self.strikes:
+                self.strikes.pop(fid, None)  # overruns must be consecutive
+            return vrp
+        strikes = self.strikes.get(fid, 0) + 1
+        self.strikes[fid] = strikes
+        if strikes < self.strike_limit:
+            return vrp
+        return self._quarantine(entry, declared, vrp, item)
+
+    def _general_only(self, item):
+        if item.packet is not None:
+            item.packet.meta["flow_entry"] = None
+        return self.router.classifier.timed_vrp_for(None)
+
+    def _quarantine(self, entry, declared, vrp, item):
+        fid = entry.fid
+        self.strikes.pop(fid, None)
+        self.router.interface.remove(fid)
+        incident = {
+            "cycle": self.router.sim.now,
+            "kind": "vrp-quarantine",
+            "severity": "red",
+            "fid": fid,
+            "forwarder": entry.spec.name,
+            "declared_reg_cycles": declared[0],
+            "observed_reg_cycles": vrp.reg_cycles,
+            "packets_matched": entry.packets_matched,
+            "detail": (
+                f"forwarder {entry.spec.name!r} (fid {fid}) ran "
+                f"{vrp.reg_cycles} reg cycles/MP against {declared[0]} "
+                f"declared for {self.strike_limit} consecutive packets; "
+                "removed from the fast path"
+            ),
+        }
+        self.incidents.append(incident)
+        self.quarantined[fid] = incident
+        injector = getattr(self.router, "injector", None)
+        if injector is not None and injector.enabled:
+            injector.log.append(incident)
+            injector.count("vrp-quarantine")
+        return self._general_only(item)

@@ -19,6 +19,7 @@ from collections import deque
 from typing import Any, Deque, NamedTuple, Optional
 
 from repro.engine import Resource, Simulator
+from repro.faults.injector import NULL_INJECTOR
 from repro.obs.recorder import NULL_RECORDER
 
 # 32-bit x 33 MHz PCI: 1.056 Gbps.  In 200 MHz simulation cycles, one
@@ -85,6 +86,10 @@ class I2OQueuePair:
     from IXP overload.
     """
 
+    #: Fault-injection hook (message loss); the class-level null object
+    #: costs one attribute check per send when injection is off.
+    injector = NULL_INJECTOR
+
     def __init__(self, depth: int = 64, name: str = ""):
         if depth <= 0:
             raise ValueError("queue depth must be positive")
@@ -95,12 +100,20 @@ class I2OQueuePair:
         self.pushed = 0
         self.popped = 0
         self.backpressure_events = 0
+        self.messages_lost = 0
 
     def try_send(self, message: I2OMessage) -> bool:
         """IXP side: claim a free buffer and publish it full."""
         if not self.free:
             self.backpressure_events += 1
             return False
+        inj = self.injector
+        if inj.enabled and inj.on_i2o_send(self):
+            # The message vanishes in flight: the sender sees success
+            # (the hardware gave no delivery receipt) but no buffer is
+            # consumed and the host never sees it.  Accounted, not silent.
+            self.messages_lost += 1
+            return True
         buffer_id = self.free.popleft()
         self.full.append((buffer_id, message))
         self.pushed += 1

@@ -69,9 +69,25 @@ class PentiumHost:
         self.busy_pentium_cycles = 0.0
         self.processed = 0
         self.returned = 0
+        self.crashed = False
+        self.crashes = 0
+        self.restarts = 0
         self._window_start_busy = 0.0
         self._window_start_processed = 0
         self._proc = sim.spawn(self._run(), name="pentium")
+
+    # -- crash / restart ---------------------------------------------------------
+
+    def crash(self) -> None:
+        """Host OS down: the poll loop idles from its next iteration.
+        Messages already in the I2O queues stay queued (Pentium-memory
+        buffers survive a reboot) and drain after :meth:`restart`."""
+        self.crashed = True
+        self.crashes += 1
+
+    def restart(self) -> None:
+        self.crashed = False
+        self.restarts += 1
 
     # -- configuration ----------------------------------------------------------
 
@@ -118,6 +134,9 @@ class PentiumHost:
 
     def _run(self) -> Generator:
         while True:
+            if self.crashed:
+                yield Delay(self.params.idle_poll_sim_cycles)
+                continue
             message = self.rx_pair.try_receive()
             if message is None:
                 yield Delay(self.params.idle_poll_sim_cycles)

@@ -46,6 +46,14 @@ class SAParams:
     bridge_busy_cycles: int = 290    # I2O send path (software-emulated)
     interrupt_overhead_cycles: int = 420  # per-packet cost in interrupt mode
     idle_poll_cycles: int = 50
+    # Bounded retry on the Pentium bridge: after this many failed sends
+    # the descriptor is dropped (counted) rather than wedging the SA
+    # behind a dead Pentium.  The healthy-path backpressure of the
+    # paper's 1500-byte measurement retries ~90 times at most, well
+    # under the limit, so calibrated envelopes are unchanged.
+    bridge_retry_limit: int = 400
+    bridge_backoff_growth: float = 1.0   # >1.0 enables exponential backoff
+    bridge_backoff_cap: int = 2000       # max per-retry wait, in cycles
 
 
 class StrongARM:
@@ -79,8 +87,27 @@ class StrongARM:
         self.local_processed = 0
         self.bridged = 0
         self.bridge_backpressure = 0
+        self.bridge_dropped = 0
         self.dropped_local = 0
+        self.crashed = False
+        self.crashes = 0
+        self.restarts = 0
         self._proc = self.sim.spawn(self._run(), name="strongarm")
+
+    # -- crash / restart ---------------------------------------------------------
+
+    def crash(self) -> None:
+        """Take the OS down: the dispatch loop idles from its next
+        iteration.  In-flight memory/bus operations complete (the
+        hardware finishes what was posted); queued packets wait."""
+        self.crashed = True
+        self.crashes += 1
+
+    def restart(self) -> None:
+        """Reboot: the jump table is boot-time state, so dispatch simply
+        resumes and drains whatever queued while down."""
+        self.crashed = False
+        self.restarts += 1
 
     # -- configuration -----------------------------------------------------------
 
@@ -109,6 +136,9 @@ class StrongARM:
     def _run(self) -> Generator:
         chip = self.chip
         while True:
+            if self.crashed:
+                yield Delay(self.params.idle_poll_cycles)
+                continue
             # Pentium-bound packets take precedence over local ones
             # (section 4.1's priority scheme).
             descriptor = chip.sa_dequeue(chip.sa_pentium_queue)
@@ -194,13 +224,29 @@ class StrongARM:
             body_bytes=max(0, frame_len - 64),
             flow_metadata=flow_metadata,
         )
+        attempts = 0
+        backoff = float(self.params.idle_poll_cycles)
         while not self.pentium_pair.try_send(message):
             # No free buffer in Pentium memory: the bridge stalls until
             # the Pentium recycles one.  This back-pressure is what keeps
             # the StrongARM idle (spare cycles) when the path is
             # bus-bound, as in the paper's 1500-byte measurement.
             self.bridge_backpressure += 1
-            yield Delay(self.params.idle_poll_cycles)
+            attempts += 1
+            if attempts >= self.params.bridge_retry_limit:
+                # The Pentium is not recycling buffers (crashed or
+                # wedged): drop this exceptional packet by name rather
+                # than blocking local forwarding forever.
+                self.bridge_dropped += 1
+                rec = self.chip.recorder
+                if rec.enabled:
+                    rec.record(self.sim.now, "strongarm", "bridge_drop",
+                               rec.packet_id(packet), attempts)
+                return
+            yield Delay(int(backoff))
+            if self.params.bridge_backoff_growth > 1.0:
+                backoff = min(float(self.params.bridge_backoff_cap),
+                              backoff * self.params.bridge_backoff_growth)
         self.bridged += 1
         rec = self.chip.recorder
         if rec.enabled:

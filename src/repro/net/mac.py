@@ -14,6 +14,7 @@ from collections import deque
 from typing import Callable, Deque, Iterable, Iterator, List, Optional, Tuple
 
 from repro.engine import Delay, Simulator, StatSet
+from repro.faults.injector import NULL_INJECTOR, RX_DROP, RX_DUPLICATE
 from repro.net.ethernet import wire_bits
 from repro.net.mp import MacPacket, reassemble_mps, segment_packet
 from repro.net.packet import Packet
@@ -36,6 +37,11 @@ EVALUATION_BOARD_PORTS: Tuple[PortSpeed, ...] = (PortSpeed.MBPS_100,) * 8 + (Por
 
 class MACPort:
     """One Ethernet port with receive pacing and a bounded device buffer."""
+
+    #: Fault-injection hook (link flaps, wire corruption, drop,
+    #: duplication).  The class-level null object costs one attribute
+    #: check per delivered frame when injection is off.
+    injector = NULL_INJECTOR
 
     def __init__(
         self,
@@ -82,6 +88,21 @@ class MACPort:
     def deliver(self, packet: Packet, frame: Optional[bytes] = None) -> bool:
         """Immediate delivery of one frame (bypasses pacing).  Returns False
         if the device buffer overflowed and the packet was dropped."""
+        duplicate = None
+        inj = self.injector
+        if inj.enabled:
+            verdict = inj.on_rx(self, packet)
+            if verdict:
+                if verdict == RX_DROP:
+                    # Lost on the wire or behind a downed link: the frame
+                    # never reaches the device buffer.
+                    self.stats.counter("rx_fault_dropped").add()
+                    return False
+                if verdict == RX_DUPLICATE:
+                    duplicate = packet.copy()
+                    duplicate.meta["fault_duplicate"] = True
+                # RX_CORRUPT: the injector mutated the header in place;
+                # the frame arrives and must fail validation downstream.
         mps = segment_packet(packet, frame, port=self.port_id)
         if len(self.rx_buffer) + len(mps) > self.rx_buffer_mps:
             self.stats.counter("rx_dropped_packets").add()
@@ -91,6 +112,8 @@ class MACPort:
         self.stats.counter("rx_packets").add()
         self.stats.counter("rx_mps").add(len(mps))
         self.data_signal.fire()
+        if duplicate is not None:
+            self.deliver(duplicate, frame)
         return True
 
     def port_rdy(self) -> bool:

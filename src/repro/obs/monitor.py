@@ -91,6 +91,9 @@ class HealthSample:
     wfq_classes: Optional[Dict[str, Tuple[float, int]]] = None
     # Observability self-check.
     dropped_events: int = 0
+    # Fault injection (zero when no injector is attached).
+    faults_injected: int = 0
+    faults_active: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -263,6 +266,26 @@ class WFQFairnessRule(Rule):
         )
 
 
+class FaultInjectionRule(Rule):
+    """Surfaces attached fault injection in the health table.  Yellow
+    while faults are active or have fired in the window -- degradation
+    has a known, injected cause -- and never red: the verdict on whether
+    the router *coped* belongs to the campaign invariants, not to the
+    fact that faults exist."""
+
+    name = "fault-injection"
+    paper_ref = "section 4.7 (robustness under attack)"
+
+    def evaluate(self, sample: HealthSample) -> RuleResult:
+        if sample.faults_active > 0 or sample.faults_injected > 0:
+            return self._result(
+                YELLOW, float(sample.faults_injected), None,
+                f"{sample.faults_injected} faults injected in window, "
+                f"{sample.faults_active} active now",
+            )
+        return self._result(GREEN, 0.0, None, "no faults injected in window")
+
+
 class TraceTruncationRule(Rule):
     """Observability self-check: a wrapped trace ring means every
     downstream analysis is partial.  Never red (the router itself is
@@ -305,11 +328,20 @@ class HealthMonitor:
     """
 
     def __init__(self, chip, recorder: Recorder, router=None,
-                 rules: Optional[List[Rule]] = None, budget=None):
+                 rules: Optional[List[Rule]] = None, budget=None,
+                 injector=None):
         self.chip = chip
         self.recorder = recorder
         self.router = router
+        if injector is None and router is not None:
+            injector = getattr(router, "injector", None)
+        self.injector = injector
         self.rules = default_rules() if rules is None else rules
+        if injector is not None and rules is None:
+            # Only when an injector is attached: healthy scenarios keep
+            # the exact rule set (and incident stream) they had before
+            # fault injection existed.
+            self.rules.append(FaultInjectionRule())
         if budget is None and router is not None:
             budget = router.config.budget
         if budget is None:
@@ -325,7 +357,14 @@ class HealthMonitor:
         self._counter_snapshot: Dict[str, int] = dict(chip.counters)
         self._pci_busy_snapshot = 0 if router is None else router.pci.busy_cycles
         self._wfq_snapshot: Dict[str, int] = self._wfq_packets()
+        self._faults_snapshot = self._faults_total()
+        self._injector_drained = 0
         self._last_cycle = chip.sim.now
+
+    def _faults_total(self) -> int:
+        if self.injector is None:
+            return 0
+        return sum(self.injector.counts.values())
 
     # -- sampling ---------------------------------------------------------
 
@@ -381,6 +420,8 @@ class HealthMonitor:
             budget_hashes=self.budget.hashes,
             wfq_classes=wfq_classes,
             dropped_events=self.recorder.dropped_events,
+            faults_injected=self._faults_total() - self._faults_snapshot,
+            faults_active=0 if self.injector is None else self.injector.active,
         )
 
     # -- evaluation -------------------------------------------------------
@@ -389,6 +430,22 @@ class HealthMonitor:
         """Run every rule once; log incidents on level transitions and
         advance the delta window."""
         sample = self.sample()
+        if self.injector is not None:
+            # Interleave injected-fault incidents (link flaps, crashes,
+            # quarantines) into the incident log as they happen; they
+            # carry the injector's severity and never change exit codes
+            # (worst_level looks at rule results only).
+            log = self.injector.log
+            for incident in log[self._injector_drained:]:
+                self.incidents.append({
+                    "cycle": incident["cycle"],
+                    "rule": "fault-injection",
+                    "from": incident["kind"],
+                    "to": incident["severity"],
+                    "value": None,
+                    "detail": incident["detail"],
+                })
+            self._injector_drained = len(log)
         results = [rule.evaluate(sample) for rule in self.rules]
         for result in results:
             previous = self._levels.get(result.rule, GREEN)
@@ -409,6 +466,7 @@ class HealthMonitor:
         if self.router is not None:
             self._pci_busy_snapshot = self.router.pci.busy_cycles
         self._wfq_snapshot = self._wfq_packets()
+        self._faults_snapshot = self._faults_total()
         self._last_cycle = sample.cycle
         return results
 

@@ -17,9 +17,14 @@ def test_report_contains_all_sections():
         "## Robustness",
         "## Health watchdog",
         "## Latency decomposition",
+        "## Fault matrix",
     ):
         assert heading in text
     # Markdown tables render with the three-column layout.
     assert "| metric | paper | measured |" in text
     # Key published anchors appear.
     assert "280" in text and "4.29" in text and "526" in text
+    # Every campaign scenario reports, and every invariant held.
+    for scenario in ("pentium-crash", "vrp-overrun", "i2o-storm"):
+        assert scenario in text
+    assert "FAILED" not in text

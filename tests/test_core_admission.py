@@ -145,3 +145,70 @@ def test_rejections_are_recorded():
         admission.check(ALL, make_spec("huge", reg=500), FlowTable())
     assert len(admission.rejections) == 1
     assert "huge" in admission.rejections[0]
+
+
+def test_strongarm_zero_declared_cycles_rejected():
+    """Declaring zero cycles/packet would reserve nothing; admission
+    must refuse to reason about the lie."""
+    admission = AdmissionControl(strongarm=StrongARMCapacity(local_forwarder_fraction=0.1))
+    spec = ForwarderSpec(name="free-lunch", where=Where.SA, cycles=0,
+                         expected_pps=10e3)
+    with pytest.raises(AdmissionError) as err:
+        admission.check(flow_key(), spec, FlowTable())
+    assert "positive" in str(err.value)
+
+
+def test_pentium_nonpositive_declared_cycles_rejected():
+    admission = AdmissionControl()
+    table = FlowTable()
+    for cycles in (0, -250):
+        spec = ForwarderSpec(name=f"c{cycles}", where=Where.PE, cycles=cycles,
+                             expected_pps=10e3)
+        with pytest.raises(AdmissionError) as err:
+            admission.check(flow_key(), spec, table)
+        assert "positive" in str(err.value)
+    # expected_cycles_per_packet is an acceptable alternative declaration.
+    ok = ForwarderSpec(name="declared-alt", where=Where.PE, cycles=0,
+                       expected_cycles_per_packet=200, expected_pps=10e3)
+    admission.check(flow_key(), ok, table)
+
+
+def test_program_exceeding_any_istore_rejected_outright():
+    """A program bigger than an *empty* 650-slot ISTORE can never be
+    installed; the rejection must say so even when no store is offered
+    (a roomy cycle budget keeps the VRP check from masking the branch)."""
+    roomy = VRPBudget(cycles=5_000, istore_slots=650)
+    admission = AdmissionControl(budget=roomy)
+    spec = ForwarderSpec(name="whale", where=Where.ME,
+                         program=VRPProgram("whale", [RegOps(700)]))
+    with pytest.raises(AdmissionError) as err:
+        admission.check(flow_key(), spec, FlowTable())
+    assert "can never fit" in str(err.value)
+
+
+def test_istore_exhaustion_on_any_one_engine_rejects():
+    """The program must fit on *every* input engine: one crowded store
+    among free ones is enough to reject."""
+    admission = AdmissionControl()
+    crowded = InstructionStore()
+    crowded.install_general("hog", 630)
+    with pytest.raises(AdmissionError) as err:
+        admission.check(flow_key(), tcp_splicer(), FlowTable(),
+                        istores=[InstructionStore(), crowded])
+    assert "free on an input engine" in str(err.value)
+
+
+def test_per_flow_candidate_checked_against_serial_baseline():
+    """A per-flow candidate is charged classifier + all generals + itself
+    (the parallel rule exempts it only from *other* per-flow costs)."""
+    admission = AdmissionControl()
+    table = FlowTable()
+    general = make_spec("g", reg=60)          # 61 cycles with the SRAM read
+    admission.check(ALL, general, table)
+    table.add(ALL, general)
+    # 56 (classifier) + 61 (general) + 101 = 218 <= 240: admitted.
+    admission.check(flow_key(1), make_spec("fits", reg=100), table)
+    # 56 + 61 + 131 = 248 > 240: rejected despite running "in parallel"
+    # with other per-flow forwarders.
+    with pytest.raises(AdmissionError):
+        admission.check(flow_key(2), make_spec("busts", reg=130), table)

@@ -1,0 +1,108 @@
+"""Campaign-level acceptance tests: the `repro faults` scenarios hold
+their invariants, and the invariants are the PR's acceptance criteria
+(fast path within 1% under a Pentium crash; watchdog quarantine within
+a bounded packet count) asserted here as well as by the campaign exit
+code CI checks.
+"""
+
+import json
+
+import pytest
+
+from repro.faults.campaign import (
+    QUARANTINE_PACKET_BOUND,
+    SCENARIOS,
+    run_campaign,
+)
+
+
+def _one(name, seed=0, **kw):
+    results = run_campaign(name, seed=seed, **kw)
+    assert len(results) == 1
+    return results[0]
+
+
+def _invariant(result, name):
+    return next(inv for inv in result.invariants if inv["name"] == name)
+
+
+def test_pentium_crash_fast_path_within_one_percent():
+    """The acceptance criterion: the MicroEngine fast path holds its
+    baseline rate within 1% while the Pentium is down and rebooting."""
+    result = _one("pentium-crash")
+    assert result.ok, result.invariants
+    assert result.exit_code() == 0
+    iso = _invariant(result, "fastpath-isolation")
+    assert iso["ok"], iso["detail"]
+    assert _invariant(result, "crash-and-restart")["ok"]
+    assert _invariant(result, "slow-path-resumes")["ok"]
+    # The crash actually happened.
+    assert result.fault_counts.get("pentium-crash") == 1
+    assert result.fault_counts.get("pentium-restart") == 1
+
+
+def test_vrp_overrun_quarantine_is_bounded():
+    """The other acceptance criterion: a budget-overrunning forwarder is
+    quarantined within a bounded number of packets and forwarding
+    continues."""
+    result = _one("vrp-overrun")
+    assert result.ok, result.invariants
+    bounded = _invariant(result, "quarantine-bounded")
+    assert bounded["ok"], bounded["detail"]
+    quarantines = [i for i in result.incidents if i["kind"] == "vrp-quarantine"]
+    assert len(quarantines) == 1
+    assert quarantines[0]["packets_matched"] <= QUARANTINE_PACKET_BOUND
+    assert result.fault_counts.get("vrp-quarantine") == 1
+
+
+def test_strongarm_crash_scenario_holds():
+    result = _one("strongarm-crash")
+    assert result.ok, result.invariants
+
+
+def test_link_flap_scenario_holds():
+    result = _one("link-flap")
+    assert result.ok, result.invariants
+    assert result.fault_counts.get("link-drop", 0) > 0
+    assert _invariant(result, "no-silent-corruption")["ok"]
+
+
+def test_memory_stress_scenario_holds():
+    result = _one("memory-stress")
+    assert result.ok, result.invariants
+    assert _invariant(result, "all-faults-fired")["ok"]
+
+
+def test_i2o_storm_scenario_holds():
+    result = _one("i2o-storm")
+    assert result.ok, result.invariants
+    assert _invariant(result, "loss-accounted")["ok"]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [7, 42])
+def test_all_scenarios_hold_across_seeds(seed):
+    for result in run_campaign("all", seed=seed):
+        assert result.ok, (result.scenario, result.invariants)
+
+
+def test_unknown_scenario_names_the_valid_set():
+    with pytest.raises(ValueError) as err:
+        run_campaign("bit-rot")
+    message = str(err.value)
+    for name in SCENARIOS:
+        assert name in message
+    assert "all" in message
+
+
+def test_incident_log_json_is_canonical():
+    result = _one("link-flap")
+    blob = result.incident_log_json()
+    decoded = json.loads(blob)
+    assert decoded["scenario"] == "link-flap"
+    assert decoded["ok"] is True
+    assert decoded["seed"] == 0
+    # Canonical form: sorted keys, so byte-comparison across runs works.
+    assert list(decoded) == sorted(decoded)
+    names = [inv["name"] for inv in decoded["invariants"]]
+    assert "no-silent-corruption" in names
