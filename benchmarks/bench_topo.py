@@ -1,0 +1,63 @@
+"""Multi-router topology scenarios: network-wide robustness under one
+shared event engine.
+
+The paper's single-router robustness claims (bounded loss, accounted
+drops, control-plane isolation) are re-checked here at network scale:
+a link-failure reconvergence run and a congestion-collapse run, each a
+4-router topology with link-state routing.  Hard assertions are the
+scenario invariants themselves; the trajectory rows record the headline
+golden numbers (reconvergence time, goodput, loss accounting).
+"""
+
+from conftest import report, run_once
+
+from repro.topo.scenarios import run_topo
+
+SEED = 7
+WINDOW = 120_000
+WARMUP = 10_000
+# The collapse regime needs a longer window to fully develop (the
+# bottleneck queue must fill and then shed a meaningful drop count).
+CONGESTION_WINDOW = 200_000
+
+
+def test_link_failure_reconvergence(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: run_topo("link-failure", seed=SEED, window=WINDOW,
+                         warmup=WARMUP)[0])
+    assert result.ok, [i for i in result.invariants if not i["ok"]]
+    acct = result.accounting
+    reconv = max(r["cycles"] for r in result.reconvergences)
+    report(
+        benchmark,
+        "Topology link failure + reconvergence (4-router ring)",
+        [
+            ("reconverge cycles", None, reconv),
+            ("sent", None, acct["sent"]),
+            ("delivered", None, acct["delivered"]),
+            ("link drops", None, acct["link_drops"]),
+            ("accounting residual", 0, acct["residual"]),
+            ("invariants ok", 1, int(result.ok)),
+        ],
+    )
+
+
+def test_congestion_collapse(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: run_topo("congestion-collapse", seed=SEED,
+                         window=CONGESTION_WINDOW, warmup=WARMUP)[0])
+    assert result.ok, [i for i in result.invariants if not i["ok"]]
+    acct = result.accounting
+    report(
+        benchmark,
+        "Topology congestion collapse (bottleneck link)",
+        [
+            ("sent", None, acct["sent"]),
+            ("delivered", None, acct["delivered"]),
+            ("bottleneck drops", None, acct["link_drops"]),
+            ("accounting residual", 0, acct["residual"]),
+            ("invariants ok", 1, int(result.ok)),
+        ],
+    )

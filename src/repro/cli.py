@@ -191,9 +191,45 @@ def cmd_faults(args) -> int:
                    export.dumps([r.to_dict() for r in results], indent=2,
                                 sort_keys=True))
         with open(args.incidents_out, "w") as fh:
-            fh.write(payload)
+            fh.write(payload + "\n")
         if not args.json:
             print(f"incident log written to {args.incidents_out}")
+    if not args.json:
+        failed = [r.scenario for r in results if not r.ok]
+        if failed:
+            print(f"INVARIANT VIOLATIONS in: {', '.join(failed)}")
+        else:
+            print(f"all invariants held across {len(results)} scenario(s)")
+    return max((r.exit_code() for r in results), default=0)
+
+
+def cmd_topo(args) -> int:
+    from repro.obs import export
+    from repro.obs.bench_record import record_benchmark
+    from repro.topo.scenarios import bench_rows, run_topo
+
+    results = run_topo(args.scenario, seed=args.seed,
+                       window=args.window, warmup=args.warmup)
+    if args.json:
+        print(export.dumps([r.artifact() for r in results], indent=2,
+                           sort_keys=True))
+    else:
+        for result in results:
+            for line in result.table():
+                print(line)
+            print()
+    if args.incidents_out:
+        payload = (results[0].incident_log_json() if len(results) == 1 else
+                   export.dumps([export.sanitize(r.artifact()) for r in results],
+                                indent=2, sort_keys=True))
+        with open(args.incidents_out, "w") as fh:
+            fh.write(payload + "\n")
+        if not args.json:
+            print(f"incident log written to {args.incidents_out}")
+    if not args.no_bench:
+        path = record_benchmark("topo_scenarios", bench_rows(results))
+        if not args.json:
+            print(f"bench trajectory written to {path}")
     if not args.json:
         failed = [r.scenario for r in results if not r.ok]
         if failed:
@@ -236,6 +272,7 @@ COMMANDS: Dict[str, Callable] = {
     "profile": cmd_profile,
     "monitor": cmd_monitor,
     "faults": cmd_faults,
+    "topo": cmd_topo,
 }
 
 
@@ -312,6 +349,27 @@ def main(argv=None) -> int:
                                help="also print every campaign result as JSON")
     faults_parser.add_argument("--incidents-out", default=None,
                                help="write the canonical incident log to this path")
+    topo_parser = sub.add_parser(
+        "topo", help="run a multi-router network scenario; exits non-zero "
+        "when any network invariant breaks"
+    )
+    topo_parser.add_argument(
+        "scenario",
+        choices=("link-failure", "route-churn", "congestion-collapse", "all"),
+        help="which network scenario to run (or all of them)")
+    topo_parser.add_argument("--seed", type=int, default=0,
+                             help="topology seed (default 0); incident logs "
+                             "and trace hashes are byte-identical per seed")
+    topo_parser.add_argument("--window", type=int, default=240_000,
+                             help="measurement window in cycles (default 240000)")
+    topo_parser.add_argument("--warmup", type=int, default=20_000,
+                             help="post-convergence warmup cycles (default 20000)")
+    topo_parser.add_argument("--json", action="store_true",
+                             help="print every scenario artifact as JSON")
+    topo_parser.add_argument("--incidents-out", default=None,
+                             help="write the canonical incident log to this path")
+    topo_parser.add_argument("--no-bench", action="store_true",
+                             help="skip writing BENCH_topo_scenarios.json")
 
     args = parser.parse_args(argv)
     if args.command in (None, "list"):
@@ -325,6 +383,11 @@ def main(argv=None) -> int:
 
         print("fault scenarios (python -m repro faults <name> --seed N):")
         for name in [*SCENARIOS, "all"]:
+            print(f"  {name}")
+        from repro.topo.scenarios import SCENARIOS as TOPO_SCENARIOS
+
+        print("topo scenarios (python -m repro topo <name> --seed N):")
+        for name in [*TOPO_SCENARIOS, "all"]:
             print(f"  {name}")
         return 0
     rc = COMMANDS[args.command](args)

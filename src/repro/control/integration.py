@@ -80,6 +80,17 @@ class ControlPlaneBinding:
             self._program_routes()
         return False
 
+    def deliver_direct(self, data: bytes, from_neighbor: Optional[int] = None) -> bool:
+        """Process an LSA delivered off the data path (the topology's
+        direct control transport): same bookkeeping, SPF charge and route
+        programming as :meth:`_process`, without the packet climb.
+        Returns True if the LSA was new."""
+        self.lsas_received += 1
+        changed = self.node.receive(data, from_neighbor=from_neighbor)
+        if changed:
+            self._program_routes()
+        return changed
+
     def _program_routes(self) -> None:
         for (prefix, length), (__, out_port) in self.node.routes.items():
             self.router.routing_table.add(prefix, length, out_port)

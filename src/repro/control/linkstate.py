@@ -89,6 +89,17 @@ class LinkStateNode:
         self.neighbors[neighbor_id] = cost
         self.port_to_neighbor[via_port] = neighbor_id
 
+    def remove_link(self, neighbor_id: int) -> None:
+        """Tear down the adjacency (link failure detection).  The caller
+        re-originates afterwards so the withdrawal floods."""
+        if neighbor_id not in self.neighbors:
+            raise KeyError(f"router {self.router_id} has no link to {neighbor_id}")
+        del self.neighbors[neighbor_id]
+        self.port_to_neighbor = {
+            port: nid for port, nid in self.port_to_neighbor.items()
+            if nid != neighbor_id
+        }
+
     def attach_network(self, prefix: str, length: int, port: int) -> None:
         self.networks.append((prefix, length, port))
 

@@ -93,8 +93,13 @@ class FaultInjector:
         #: Faults currently holding something down (link, resource, host).
         self.active = 0
 
-        self._links_down: set = set()           # port ids flapped down
-        self._port_plans: Dict[int, _PortPlan] = {}
+        # Keyed by the port *object*, never by ``port_id``: port ids
+        # restart at zero on every router, so an id-keyed plan on one
+        # node would silently fault the same-numbered port of every
+        # other node sharing this injector (multi-router topologies
+        # attach one injector across all nodes for a merged log).
+        self._links_down: set = set()           # MACPort objects flapped down
+        self._port_plans: Dict[Any, _PortPlan] = {}
         self._i2o_plans: Dict[Any, tuple] = {}  # pair -> (start, stop, rate)
 
     # -- bookkeeping -----------------------------------------------------------
@@ -120,14 +125,22 @@ class FaultInjector:
 
     # -- attachment ------------------------------------------------------------
 
-    def attach_router(self, router) -> "FaultInjector":
-        """Point every hook in ``router``'s hierarchy at this injector."""
+    def attach_router(self, router, label: Optional[str] = None) -> "FaultInjector":
+        """Point every hook in ``router``'s hierarchy at this injector.
+        ``label`` names the router in incident details (set it when one
+        injector spans several nodes, so "port 0" is unambiguous)."""
         router.injector = self
         for port in router.ports:
             port.injector = self
+            if label is not None:
+                port.label = f"{label}.port{port.port_id}"
         router.to_pentium.injector = self
         router.from_pentium.injector = self
         return self
+
+    @staticmethod
+    def _port_name(port) -> str:
+        return getattr(port, "label", None) or f"port {port.port_id}"
 
     # -- MAC layer: link flaps, corruption, drop, duplication --------------------
 
@@ -137,14 +150,14 @@ class FaultInjector:
 
         def flap():
             yield Delay(max(1, at - self.sim.now))
-            self._links_down.add(port.port_id)
+            self._links_down.add(port)
             self.active += 1
             self.record("link-down",
-                        f"port {port.port_id} link down for {down_cycles} cycles")
+                        f"{self._port_name(port)} link down for {down_cycles} cycles")
             yield Delay(max(1, down_cycles))
-            self._links_down.discard(port.port_id)
+            self._links_down.discard(port)
             self.active -= 1
-            self.record("link-up", f"port {port.port_id} link restored",
+            self.record("link-up", f"{self._port_name(port)} link restored",
                         severity="green")
 
         self.sim.spawn(flap(), name=f"fault-linkflap-p{port.port_id}")
@@ -158,22 +171,21 @@ class FaultInjector:
         ``mac-duplicate``."""
         if min(drop, corrupt, duplicate) < 0 or drop + corrupt + duplicate > 1.0:
             raise ValueError("fault rates must be >= 0 and sum to <= 1")
-        self._port_plans[port.port_id] = _PortPlan(start, stop, drop, corrupt,
-                                                  duplicate)
+        self._port_plans[port] = _PortPlan(start, stop, drop, corrupt,
+                                           duplicate)
         self.record(
             "packet-faults-armed",
-            f"port {port.port_id} cycles [{start},{stop}): drop={drop} "
+            f"{self._port_name(port)} cycles [{start},{stop}): drop={drop} "
             f"corrupt={corrupt} duplicate={duplicate}",
             severity="green",
         )
 
     def on_rx(self, port, packet) -> int:
         """MACPort.deliver hook: what happens to this arriving frame."""
-        pid = port.port_id
-        if pid in self._links_down:
+        if port in self._links_down:
             self.count("link-drop")
             return RX_DROP
-        plan = self._port_plans.get(pid)
+        plan = self._port_plans.get(port)
         if plan is None:
             return RX_OK
         if packet.meta.get("fault_duplicate"):

@@ -86,7 +86,16 @@ class RoutingTable:
             next_hop_mac=next_hop_mac or MACAddress.for_port(out_port),
             out_port=out_port,
         )
-        self._routes.append(route)
+        # Re-adding an existing (prefix, length) is a *reprogram* -- the
+        # control plane does this on every reconvergence -- so the old
+        # entry must go, or the trie and the linear reference would
+        # disagree about which Route wins.
+        for i, existing in enumerate(self._routes):
+            if existing.prefix == route.prefix and existing.length == length:
+                self._routes[i] = route
+                break
+        else:
+            self._routes.append(route)
         self._insert(route)
         self.generation += 1
         for callback in self._listeners:
@@ -138,7 +147,10 @@ class RoutingTable:
     def _push_down(self, node: _TrieNode, route: Route, level: int) -> None:
         for slot in range(len(node.entries)):
             existing = node.entries[slot]
-            if existing is None or existing.length < route.length:
+            # ``<=`` so a reprogram of the same prefix replaces its own
+            # stale copies in child subtrees (equal-length routes with
+            # *different* prefixes never cover the same slot).
+            if existing is None or existing.length <= route.length:
                 node.entries[slot] = route
             child = node.children[slot]
             if child is not None:

@@ -1,0 +1,436 @@
+"""Network-wide scenarios: the topology counterpart of fault campaigns.
+
+Three scenarios exercise the network the way section 4.7 exercises one
+router -- under hostile conditions, checking *invariants* rather than
+absolute numbers:
+
+* **link-failure** -- a transit link on the primary path dies; the
+  control plane reconverges within a bounded horizon, traffic reroutes
+  onto the alternate path, and every packet lost in the blackhole window
+  is bounded and accounted;
+* **route-churn** -- periodic flap storms on a primary-path link, with
+  per-node packet faults composed on top; SPF and flooding stay bounded
+  (no storm amplification), routes return to the primary path, and the
+  incident log is complete;
+* **congestion-collapse** -- two flows overload a low-bandwidth
+  bottleneck link; its queue overflows (counted, never silent), goodput
+  is capped by link capacity, and a flow on a disjoint path is isolated.
+
+Everything is seed-deterministic: the simulator has no wall clock, link
+loss and fault times flow from the one seed, so each scenario's incident
+log serializes byte-identically run after run (the determinism suite and
+the CI smoke rely on this).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs import export
+from repro.topo.network import LOGGED_KINDS, Topology
+
+DEFAULT_WINDOW = 240_000
+DEFAULT_WARMUP = 20_000
+
+#: A reconvergence episode must finish within this horizon.
+RECONVERGE_HORIZON = 30_000
+
+#: Initial convergence horizon (flooding a cold network).
+CONVERGE_HORIZON = 50_000
+
+MONITOR_PERIOD = 40_000
+
+
+# ---------------------------------------------------------------------------
+# Harness helpers.
+# ---------------------------------------------------------------------------
+
+def _ring_with_primary(seed: int) -> Topology:
+    """The scenario ring: r1-r2-r3 is the primary path (cost 2), r1-r4-r3
+    the alternate (cost 4); hosts h1 at r1 and h3 at r3."""
+    topo = Topology(seed=seed)
+    for name in ("r1", "r2", "r3", "r4"):
+        topo.add_router(name)
+    topo.connect("r1", "r2", cost=1)
+    topo.connect("r2", "r3", cost=1)
+    topo.connect("r3", "r4", cost=2)
+    topo.connect("r4", "r1", cost=2)
+    topo.add_host("h1", "r1")
+    topo.add_host("h3", "r3")
+    return topo
+
+
+def _arm(topo: Topology, seed: int) -> None:
+    topo.enable_observability()
+    topo.enable_faults(seed)
+    topo.health_monitors(period=MONITOR_PERIOD)
+
+
+def _start_flow(topo: Topology, src: str, dst: str, count: int, interval: int,
+                start: int, **kw) -> str:
+    flow = topo.hosts[src].start_flow(topo.hosts[dst], count=count,
+                                      interval=interval, start=start, **kw)
+    topo.record("topo-traffic-start",
+                f"flow {flow}: {count} packets every {interval} cycles "
+                f"from cycle {topo.sim.now + start}", severity="green")
+    return flow
+
+
+def _inv(name: str, ok: bool, detail: str) -> Dict[str, Any]:
+    return {"name": name, "ok": bool(ok), "detail": detail}
+
+
+def _accounted(topo: Topology, slack: int) -> Dict[str, Any]:
+    acct = topo.accounting()
+    # TTL-expired packets are consumed by the ICMP generator rather than
+    # a drop counter; each one answered with a delivered error is
+    # accounted through ``icmp_errors``.
+    residual = acct["residual"] - acct["icmp_errors"]
+    return _inv("all-drops-accounted", 0 <= residual <= slack,
+                f"sent={acct['sent']} delivered={acct['delivered']} "
+                f"link_drops={acct['link_drops']} router_drops={acct['router_drops']} "
+                f"in_flight={acct['in_flight']} residual={residual} (slack {slack})")
+
+
+# ---------------------------------------------------------------------------
+# Result object.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TopoResult:
+    scenario: str
+    seed: int
+    warmup_cycles: int
+    window_cycles: int
+    converge_cycles: int
+    invariants: List[Dict[str, Any]] = field(default_factory=list)
+    incidents: List[Dict[str, Any]] = field(default_factory=list)
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+    reconvergences: List[Dict[str, Any]] = field(default_factory=list)
+    accounting: Dict[str, int] = field(default_factory=dict)
+    stats: Dict[str, Any] = field(default_factory=dict)
+    trace_hash: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return all(inv["ok"] for inv in self.invariants)
+
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def artifact(self) -> Dict[str, Any]:
+        """The full deterministic artifact (determinism suite input)."""
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "warmup_cycles": self.warmup_cycles,
+            "window_cycles": self.window_cycles,
+            "converge_cycles": self.converge_cycles,
+            "ok": self.ok,
+            "invariants": self.invariants,
+            "incidents": self.incidents,
+            "fault_counts": dict(sorted(self.fault_counts.items())),
+            "reconvergences": self.reconvergences,
+            "accounting": self.accounting,
+            "stats": self.stats,
+            "trace_hash": self.trace_hash,
+        }
+
+    def incident_log_json(self) -> str:
+        """The canonical incident artifact, byte-identical per seed --
+        what the committed goldens diff against.  Excludes raw stats and
+        the trace hash (covered by the determinism suite) so the golden
+        breaks on behavior changes, not on every new counter."""
+        doc = self.artifact()
+        doc.pop("stats")
+        doc.pop("trace_hash")
+        return export.dumps(doc, indent=2, sort_keys=True)
+
+    def table(self) -> List[str]:
+        lines = [f"## topo {self.scenario} (seed {self.seed})",
+                 "| invariant | ok | detail |", "|---|---|---|"]
+        for inv in self.invariants:
+            mark = "PASS" if inv["ok"] else "FAIL"
+            lines.append(f"| {inv['name']} | {mark} | {inv['detail']} |")
+        acct = self.accounting
+        lines.append(
+            f"converged in {self.converge_cycles} cycles; "
+            f"sent={acct.get('sent', 0)} delivered={acct.get('delivered', 0)}; "
+            f"reconvergences: {len(self.reconvergences)}; "
+            f"incidents: {len(self.incidents)}")
+        return lines
+
+
+def _result(name: str, seed: int, window: int, warmup: int,
+            topo: Topology, converge_cycles: int,
+            invariants: List[Dict[str, Any]]) -> TopoResult:
+    return TopoResult(
+        scenario=name,
+        seed=seed,
+        warmup_cycles=warmup,
+        window_cycles=window,
+        converge_cycles=converge_cycles,
+        invariants=invariants,
+        incidents=list(topo.incidents),
+        fault_counts=topo.fault_counts,
+        reconvergences=list(topo.reconvergences),
+        accounting=topo.accounting(),
+        stats=topo.stats(),
+        trace_hash=topo.trace_hash(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scenario: link failure + reconvergence.
+# ---------------------------------------------------------------------------
+
+def _scenario_link_failure(seed: int, window: int, warmup: int) -> TopoResult:
+    rng = random.Random(f"link-failure:{seed}")
+    topo = _ring_with_primary(seed)
+    _arm(topo, seed)
+    converge_cycles = topo.converge(max_cycles=CONVERGE_HORIZON)
+
+    interval = 2_000
+    count = int(window * 0.7) // interval
+    fwd = _start_flow(topo, "h1", "h3", count=count, interval=interval,
+                      start=warmup)
+    rev = _start_flow(topo, "h3", "h1", count=count // 3, interval=interval * 3,
+                      start=warmup)
+    fail_at = warmup + int(rng.uniform(0.3, 0.45) * window)
+    topo.fail_link("r1", "r2", at=fail_at)
+
+    h1, h3 = topo.hosts["h1"], topo.hosts["h3"]
+    alt = topo.link_between("r1", "r4")
+    marks: Dict[str, int] = {}
+
+    def probe() -> None:
+        marks["delivered_at_fail"] = h3.received
+        marks["alt_carried_at_fail"] = alt.counts["carried_data"]
+
+    topo.sim.schedule(fail_at + 1, probe)
+    topo.run(warmup + window)
+
+    reconv = topo.reconvergences[-1]["cycles"] if topo.reconvergences else None
+    fwd_delivered = h3.received_by_flow.get(fwd, 0)
+    lost = count - fwd_delivered
+    # The blackhole lasts one reconvergence plus the frames already in
+    # flight toward the dead link.
+    loss_bound = ((reconv or RECONVERGE_HORIZON) // interval) + 4
+    invariants = [
+        _inv("initial-convergence", converge_cycles <= CONVERGE_HORIZON,
+             f"{converge_cycles} cycles (horizon {CONVERGE_HORIZON})"),
+        _inv("pre-failure-delivery", marks.get("delivered_at_fail", 0) > 0,
+             f"{marks.get('delivered_at_fail', 0)} packets delivered before "
+             f"the failure at cycle {fail_at}"),
+        _inv("reconverged-within-horizon",
+             reconv is not None and reconv <= RECONVERGE_HORIZON,
+             f"reconvergence took {reconv} cycles (horizon {RECONVERGE_HORIZON})"),
+        _inv("rerouted-to-alternate-path",
+             alt.counts["carried_data"] > marks.get("alt_carried_at_fail", 0),
+             f"r1--r4 carried {alt.counts['carried_data']} data frames "
+             f"(was {marks.get('alt_carried_at_fail', 0)} at failure)"),
+        _inv("post-failure-delivery",
+             h3.received > marks.get("delivered_at_fail", 0),
+             f"{h3.received} total vs {marks.get('delivered_at_fail', 0)} at failure"),
+        _inv("loss-bounded", 0 <= lost <= loss_bound,
+             f"lost {lost} of {count} forward packets (bound {loss_bound})"),
+        _inv("reverse-flow-survives", h1.received_by_flow.get(rev, 0) > 0,
+             f"{h1.received_by_flow.get(rev, 0)} reverse packets delivered"),
+        _accounted(topo, slack=4),
+    ]
+    return _result("link-failure", seed, window, warmup, topo,
+                   converge_cycles, invariants)
+
+
+# ---------------------------------------------------------------------------
+# Scenario: route churn (periodic flap storms).
+# ---------------------------------------------------------------------------
+
+CHURN_FLAPS = 4
+
+
+def _scenario_route_churn(seed: int, window: int, warmup: int) -> TopoResult:
+    rng = random.Random(f"route-churn:{seed}")
+    topo = _ring_with_primary(seed)
+    _arm(topo, seed)
+    inj = topo.injector
+    converge_cycles = topo.converge(max_cycles=CONVERGE_HORIZON)
+
+    spf_before = {n: topo.nodes[n].node.spf_runs for n in topo.nodes}
+    messages_before = topo.control_messages
+    edges = sum(1 for link in topo.links if link.nodes)
+
+    # Compose a per-node fault on top of the churn: 1% ingress drop at
+    # r2's port facing r1 (the primary path's transit ingress).
+    ingress_link = topo.link_between("r1", "r2")
+    r2_port = ingress_link.ports[ingress_link.nodes.index(topo.nodes["r2"])]
+    inj.schedule_packet_faults(topo.nodes["r2"].port(r2_port),
+                               start=warmup, stop=warmup + window, drop=0.01)
+
+    interval = 2_500
+    count = int(window * 0.8) // interval
+    flow = _start_flow(topo, "h1", "h3", count=count, interval=interval,
+                       start=warmup)
+
+    period = window // (CHURN_FLAPS + 1)
+    down_cycles = int(period * rng.uniform(0.25, 0.4))
+    for i in range(CHURN_FLAPS):
+        at = warmup + i * period + int(rng.uniform(0.1, 0.2) * period)
+        topo.fail_link("r2", "r3", at=at, restore_at=at + down_cycles)
+
+    topo.run(warmup + window)
+
+    h3 = topo.hosts["h3"]
+    spf_growth = max(topo.nodes[n].node.spf_runs - spf_before[n]
+                     for n in topo.nodes)
+    spf_bound = 8 * CHURN_FLAPS
+    messages = topo.control_messages - messages_before
+    # Each flap edge event re-originates 2 LSAs; reliable flooding with
+    # duplicate suppression sends each over at most every directed edge.
+    message_bound = 2 * (2 * edges) * (2 * CHURN_FLAPS) + 8
+    delivered = h3.received_by_flow.get(flow, 0)
+    lost = count - delivered
+    worst_reconv = max((r["cycles"] for r in topo.reconvergences), default=None)
+    loss_bound = (CHURN_FLAPS * (down_cycles + RECONVERGE_HORIZON) // interval
+                  + int(0.05 * count) + 6)
+    r1 = topo.nodes["r1"]
+    h3_prefix = (topo.hosts["h3"].prefix, 24)
+    primary_port = topo.link_between("r1", "r2").ports[0]
+    route = r1.node.routes.get(h3_prefix)
+    logged = [i for i in topo.incidents if i["kind"] in LOGGED_KINDS]
+    expected_logged = sum(topo.fault_counts.get(k, 0) for k in LOGGED_KINDS)
+
+    invariants = [
+        _inv("initial-convergence", converge_cycles <= CONVERGE_HORIZON,
+             f"{converge_cycles} cycles (horizon {CONVERGE_HORIZON})"),
+        _inv("flaps-completed",
+             topo.fault_counts.get("topo-link-down", 0) == CHURN_FLAPS
+             and topo.fault_counts.get("topo-link-up", 0) == CHURN_FLAPS,
+             f"{topo.fault_counts.get('topo-link-down', 0)} downs / "
+             f"{topo.fault_counts.get('topo-link-up', 0)} ups of {CHURN_FLAPS} flaps"),
+        _inv("reconverged-after-every-event",
+             len(topo.reconvergences) == 2 * CHURN_FLAPS
+             and worst_reconv is not None and worst_reconv <= RECONVERGE_HORIZON,
+             f"{len(topo.reconvergences)} episodes, worst {worst_reconv} cycles"),
+        _inv("spf-storm-bounded", spf_growth <= spf_bound,
+             f"worst node ran {spf_growth} extra SPFs (bound {spf_bound})"),
+        _inv("lsa-flood-bounded", messages <= message_bound,
+             f"{messages} control messages during churn (bound {message_bound})"),
+        _inv("routes-restored-to-primary",
+             route is not None and route[1] == primary_port,
+             f"r1 route to {h3_prefix[0]}/24 is {route} "
+             f"(primary port {primary_port})"),
+        _inv("delivery-maintained", lost <= loss_bound,
+             f"lost {lost} of {count} (bound {loss_bound})"),
+        _inv("incident-log-complete", len(logged) == expected_logged,
+             f"{len(logged)} logged incidents vs {expected_logged} counted"),
+        _accounted(topo, slack=6),
+    ]
+    return _result("route-churn", seed, window, warmup, topo,
+                   converge_cycles, invariants)
+
+
+# ---------------------------------------------------------------------------
+# Scenario: congestion collapse on a bottleneck link.
+# ---------------------------------------------------------------------------
+
+BOTTLENECK_BPS = 20e6
+BOTTLENECK_QUEUE = 32
+
+
+def _scenario_congestion(seed: int, window: int, warmup: int) -> TopoResult:
+    rng = random.Random(f"congestion-collapse:{seed}")
+    topo = Topology(seed=seed)
+    for name in ("r1", "r2", "r3", "r4"):
+        topo.add_router(name)
+    topo.connect("r1", "r2")
+    bottleneck = topo.connect("r2", "r3", bandwidth_bps=BOTTLENECK_BPS,
+                              queue_limit=BOTTLENECK_QUEUE)
+    topo.connect("r2", "r4")
+    topo.add_host("ha", "r1")
+    topo.add_host("he", "r1")
+    topo.add_host("hb", "r4")
+    topo.add_host("hc", "r3")
+    topo.add_host("hf", "r4")
+    _arm(topo, seed)
+    converge_cycles = topo.converge(max_cycles=CONVERGE_HORIZON)
+
+    interval = 2_500
+    span = int(window * 0.7)
+    count = span // interval
+    flow_a = _start_flow(topo, "ha", "hc", count=count, interval=interval,
+                         start=warmup + int(rng.uniform(0, 0.02) * window))
+    flow_b = _start_flow(topo, "hb", "hc", count=count, interval=interval,
+                         start=warmup + int(rng.uniform(0, 0.02) * window))
+    control_count = span // 3_000
+    _start_flow(topo, "he", "hf", count=control_count, interval=3_000,
+                start=warmup)
+    topo.run(warmup + window)
+
+    hc, he, hf = topo.hosts["hc"], topo.hosts["he"], topo.hosts["hf"]
+    overflow = bottleneck.counts["dropped_overflow_data"]
+    # Bottleneck capacity over the whole run, in minimum-size frames.
+    ser = bottleneck.serialization_cycles(64)
+    capacity = (warmup + window) // ser + 8
+    invariants = [
+        _inv("initial-convergence", converge_cycles <= CONVERGE_HORIZON,
+             f"{converge_cycles} cycles (horizon {CONVERGE_HORIZON})"),
+        _inv("collapse-observed", overflow >= 20,
+             f"bottleneck queue overflowed {overflow} data frames "
+             f"(queue_limit {BOTTLENECK_QUEUE})"),
+        _inv("goodput-capped-by-capacity", hc.received <= capacity,
+             f"{hc.received} delivered through a {capacity}-frame capacity"),
+        _inv("no-starvation",
+             hc.received_by_flow.get(flow_a, 0) > 0
+             and hc.received_by_flow.get(flow_b, 0) > 0,
+             f"per-flow goodput {dict(sorted(hc.received_by_flow.items()))}"),
+        _inv("disjoint-flow-isolated", hf.received >= he.sent - 2,
+             f"control flow delivered {hf.received} of {he.sent}"),
+        _accounted(topo, slack=8),
+    ]
+    return _result("congestion-collapse", seed, window, warmup, topo,
+                   converge_cycles, invariants)
+
+
+# ---------------------------------------------------------------------------
+# Catalog + runner.
+# ---------------------------------------------------------------------------
+
+SCENARIOS: Dict[str, Callable[[int, int, int], TopoResult]] = {
+    "link-failure": _scenario_link_failure,
+    "route-churn": _scenario_route_churn,
+    "congestion-collapse": _scenario_congestion,
+}
+
+
+def run_topo(name: str, seed: int = 0, window: int = DEFAULT_WINDOW,
+             warmup: int = DEFAULT_WARMUP) -> List[TopoResult]:
+    """Run one scenario (or ``"all"``); returns the results in catalog
+    order."""
+    if name == "all":
+        names = list(SCENARIOS)
+    elif name in SCENARIOS:
+        names = [name]
+    else:
+        raise KeyError(
+            f"unknown topo scenario {name!r}; pick from "
+            f"{', '.join(SCENARIOS)} or 'all'")
+    return [SCENARIOS[n](seed, window, warmup) for n in names]
+
+
+def bench_rows(results: List[TopoResult]) -> Dict[str, Dict[str, Any]]:
+    """BENCH_topo_scenarios.json rows: per-scenario pass/fail plus the
+    headline golden numbers."""
+    rows: Dict[str, Dict[str, Any]] = {}
+    for result in results:
+        key = result.scenario.replace("-", "_")
+        rows[f"{key}_ok"] = {"paper": 1, "measured": int(result.ok)}
+        rows[f"{key}_delivered"] = {
+            "paper": None, "measured": result.accounting.get("delivered", 0)}
+        if result.reconvergences:
+            rows[f"{key}_worst_reconverge_cycles"] = {
+                "paper": None,
+                "measured": max(r["cycles"] for r in result.reconvergences)}
+    return rows

@@ -41,5 +41,6 @@ def test_all_examples_present():
         "quickstart.py", "performance_monitoring.py", "tcp_splicing_proxy.py",
         "syn_flood_defense.py", "wavelet_video.py", "mpls_switch.py",
         "cluster_router.py", "routing_protocol.py", "latency_profile.py",
+        "multi_router_network.py",
     }
     assert expected <= set(EXAMPLE_FILES)

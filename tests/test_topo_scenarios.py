@@ -1,0 +1,114 @@
+"""Golden-number assertions for the three topology scenarios at seed 7.
+
+Each scenario is run once (default window) and checked three ways:
+
+* its own invariants all hold (the scenario is the network-wide
+  verification suite -- a red invariant is a real regression);
+* headline golden numbers stay pinned: reconvergence bounded by the
+  horizon, every lost packet accounted to a named drop counter, the
+  incident log complete (every logged-kind count has its log entry --
+  no truncation);
+* the full incident-log artifact is byte-diffed against the committed
+  golden under ``tests/goldens/`` -- any behavior change must be
+  re-goldened deliberately, with the diff in the review.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.topo.network import LOGGED_KINDS
+from repro.topo.scenarios import RECONVERGE_HORIZON, run_topo
+
+GOLDENS = pathlib.Path(__file__).parent / "goldens"
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def results():
+    runs = run_topo("all", seed=SEED)
+    return {r.scenario: r for r in runs}
+
+
+def _golden_name(scenario):
+    return f"topo_{scenario.replace('-', '_')}_seed{SEED}.json"
+
+
+# ---------------------------------------------------------------------------
+# Scenario-specific golden numbers.
+# ---------------------------------------------------------------------------
+
+def test_link_failure_invariants_green(results):
+    r = results["link-failure"]
+    assert r.ok, [i for i in r.invariants if not i["ok"]]
+
+
+def test_link_failure_reconvergence_bounded(results):
+    r = results["link-failure"]
+    assert len(r.reconvergences) == 1
+    reconv = r.reconvergences[0]["cycles"]
+    assert 0 < reconv <= RECONVERGE_HORIZON
+    # The ring reroutes: the alternate path carried data after the cut.
+    rerouted = {i["name"]: i for i in r.invariants}["rerouted-to-alternate-path"]
+    assert rerouted["ok"], rerouted["detail"]
+
+
+def test_route_churn_every_flap_reconverges(results):
+    r = results["route-churn"]
+    assert r.ok, [i for i in r.invariants if not i["ok"]]
+    # 4 flaps x (down + restore) = 8 completed reconvergence episodes.
+    assert len(r.reconvergences) == 8
+    assert all(0 < e["cycles"] <= RECONVERGE_HORIZON for e in r.reconvergences)
+
+
+def test_congestion_collapse_is_observed_and_isolated(results):
+    r = results["congestion-collapse"]
+    assert r.ok, [i for i in r.invariants if not i["ok"]]
+    inv = {i["name"]: i for i in r.invariants}
+    assert inv["collapse-observed"]["ok"]
+    assert inv["disjoint-flow-isolated"]["ok"]
+
+
+# ---------------------------------------------------------------------------
+# Cross-scenario conservation and completeness.
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("scenario",
+                         ["link-failure", "route-churn", "congestion-collapse"])
+def test_all_drops_accounted(results, scenario):
+    """Conservation: sent = delivered + icmp-consumed + named drops
+    (+ a bounded snapshot residual, asserted by the scenario itself)."""
+    r = results[scenario]
+    acct = r.accounting
+    accounted = {i["name"]: i for i in r.invariants}["all-drops-accounted"]
+    assert accounted["ok"], accounted["detail"]
+    assert acct["sent"] > 0 and acct["delivered"] > 0
+    assert acct["misdelivered"] == 0
+
+
+@pytest.mark.parametrize("scenario",
+                         ["link-failure", "route-churn", "congestion-collapse"])
+def test_incident_log_not_truncated(results, scenario):
+    """Every counted logged-kind incident has its log entry: the merged
+    log across all nodes loses nothing."""
+    r = results[scenario]
+    logged = [i for i in r.incidents if i["kind"] in LOGGED_KINDS]
+    counted = sum(r.fault_counts.get(kind, 0) for kind in LOGGED_KINDS)
+    assert len(logged) == counted
+
+
+# ---------------------------------------------------------------------------
+# Golden artifact diff.
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("scenario",
+                         ["link-failure", "route-churn", "congestion-collapse"])
+def test_incident_log_matches_committed_golden(results, scenario):
+    golden = GOLDENS / _golden_name(scenario)
+    expected = golden.read_text()
+    actual = results[scenario].incident_log_json() + "\n"
+    assert actual == expected, (
+        f"{golden.name} drifted -- if the change is intended, regenerate "
+        f"with: PYTHONPATH=src python -m repro topo {scenario} --seed {SEED} "
+        f"--incidents-out tests/goldens/{golden.name}"
+    )
