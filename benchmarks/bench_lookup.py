@@ -1,0 +1,170 @@
+"""Head-to-head lookup-backend benchmark under internet-shaped load.
+
+The paper's table 2 charges the StrongARM miss path 236 cycles for a
+full CPE lookup (three memory probes at ~79 cycles each on the (16,8,8)
+trie).  This bench builds the same BGP-shaped table into both selectable
+backends and records the trajectory the workloads subsystem gates on:
+build time, lookup throughput, memory probes per lookup (and the modeled
+cycle cost against the paper's 236), structure size, and route-cache hit
+rate under Zipf vs scan traffic.  A second test pins the invalidation-
+storm fix: bulk route programming must invalidate the cache once, not
+once per route.
+"""
+
+import time
+
+from conftest import report, run_once
+
+from repro.net.addresses import IPv4Address
+from repro.net.routing import (MEMORY_PROBE_CYCLES, RouteCache,
+                               make_routing_table)
+from repro.workloads import (bgp_prefixes, build_table, destinations_for,
+                             run_workloads, zipf_addresses)
+
+SEED = 7
+PREFIXES = 50_000
+PROBES = 50_000
+PAPER_CPE_CYCLES = 236  # table 2: StrongARM route-cache miss path
+
+
+def _bench_backend(backend: str):
+    specs = bgp_prefixes(PREFIXES, seed=SEED)
+    dests = destinations_for(specs, seed=SEED)
+
+    t0 = time.perf_counter()
+    table, _ = build_table(PREFIXES, seed=SEED, backend=backend, specs=specs)
+    build_s = time.perf_counter() - t0
+
+    probes = [a for a in zipf_addresses(PROBES, dests, seed=SEED)]
+    t0 = time.perf_counter()
+    for addr in probes:
+        table.lookup(addr)
+    lookup_s = time.perf_counter() - t0
+
+    cache = RouteCache(table, size_bits=10)
+    for addr in probes:
+        if cache.lookup(addr) is None:
+            cache.fill(addr)
+    zipf_hit = cache.hit_rate
+
+    scan_cache = RouteCache(table, size_bits=10)
+    for value in dests[: PROBES // 2]:
+        addr = IPv4Address(value)
+        if scan_cache.lookup(addr) is None:
+            scan_cache.fill(addr)
+    scan_hit = scan_cache.hit_rate
+
+    return {
+        "backend": backend,
+        "build_s": build_s,
+        "klookups_per_s": len(probes) / lookup_s / 1e3,
+        "avg_probes": table.avg_probes,
+        "probe_bound": table.probe_bound(),
+        "modeled_cycles": table.modeled_lookup_cycles(),
+        "zipf_hit": zipf_hit,
+        "scan_hit": scan_hit,
+        "routes": len(table),
+    }
+
+
+def test_cpe_backend(benchmark):
+    m = run_once(benchmark, lambda: _bench_backend("cpe"))
+    assert m["routes"] == PREFIXES
+    assert m["avg_probes"] <= m["probe_bound"] == 3
+    report(
+        benchmark,
+        f"CPE (16,8,8) trie, {PREFIXES} BGP-shaped prefixes",
+        [
+            ("cpe build seconds", None, m["build_s"]),
+            ("cpe lookups/s (K)", None, m["klookups_per_s"]),
+            ("cpe avg memory probes", 3, m["avg_probes"]),
+            ("cpe modeled miss cycles", PAPER_CPE_CYCLES, m["modeled_cycles"]),
+            ("cpe zipf cache hit rate", None, m["zipf_hit"]),
+            ("cpe scan cache hit rate", None, m["scan_hit"]),
+        ],
+    )
+    # The paper's miss-path budget: three probes, ~236 StrongARM cycles.
+    assert m["modeled_cycles"] <= 3 * MEMORY_PROBE_CYCLES
+    # Zipf locality is what makes the small cache work; a scan defeats it.
+    assert m["zipf_hit"] > 0.5 > m["scan_hit"]
+
+
+def test_bidirectional_backend(benchmark):
+    m = run_once(benchmark, lambda: _bench_backend("bidirectional"))
+    assert m["routes"] == PREFIXES
+    assert m["avg_probes"] <= m["probe_bound"] == 18
+    report(
+        benchmark,
+        f"Bidirectional pipelined trie, {PREFIXES} BGP-shaped prefixes",
+        [
+            ("bidir build seconds", None, m["build_s"]),
+            ("bidir lookups/s (K)", None, m["klookups_per_s"]),
+            ("bidir avg memory probes", None, m["avg_probes"]),
+            ("bidir modeled miss cycles", None, m["modeled_cycles"]),
+            ("bidir zipf cache hit rate", None, m["zipf_hit"]),
+            ("bidir scan cache hit rate", None, m["scan_hit"]),
+        ],
+    )
+    assert m["zipf_hit"] > 0.5 > m["scan_hit"]
+
+
+def test_bulk_invalidation_storm(benchmark):
+    """The storm fix: programming N routes through ``bulk()`` costs one
+    cache invalidation; the pre-fix behaviour was one *reallocation* per
+    route.  Also times bulk vs per-add load as the visible payoff."""
+
+    def measure():
+        specs = bgp_prefixes(5_000, seed=SEED)
+        naive = make_routing_table("cpe")
+        naive_cache = RouteCache(naive, size_bits=10)
+        t0 = time.perf_counter()
+        for prefix, length, port, mac in specs:
+            naive.add(prefix, length, port, mac)
+        naive_s = time.perf_counter() - t0
+
+        bulk = make_routing_table("cpe")
+        bulk_cache = RouteCache(bulk, size_bits=10)
+        t0 = time.perf_counter()
+        with bulk.bulk():
+            bulk.add_many(specs)
+        bulk_s = time.perf_counter() - t0
+        return {
+            "naive_s": naive_s,
+            "bulk_s": bulk_s,
+            "naive_invalidations": naive_cache.invalidations,
+            "bulk_invalidations": bulk_cache.invalidations,
+            "naive_generations": naive.generation,
+            "bulk_generations": bulk.generation,
+        }
+
+    m = run_once(benchmark, measure)
+    report(
+        benchmark,
+        "Route programming: per-add vs bulk (5000 routes, warm cache)",
+        [
+            ("per-add seconds", None, m["naive_s"]),
+            ("bulk seconds", None, m["bulk_s"]),
+            ("per-add invalidations", None, m["naive_invalidations"]),
+            ("bulk invalidations", 1, m["bulk_invalidations"]),
+            ("bulk generation bumps", 1, m["bulk_generations"]),
+        ],
+    )
+    assert m["bulk_invalidations"] == 1
+    assert m["bulk_generations"] == 1
+    assert m["naive_invalidations"] == 5_000
+
+
+def test_workloads_scenario_gate(benchmark):
+    """The full invariant-gated scenario at bench scale (both backends)."""
+    result = run_once(
+        benchmark,
+        lambda: run_workloads(prefixes=PREFIXES, probes=PROBES, seed=SEED,
+                              sample=1_000))
+    assert result.ok, result.failures()
+    rows = [("invariants ok", 1, int(result.ok))]
+    for r in result.reports:
+        rows.append((f"{r.backend} build s", None, r.build_seconds))
+        rows.append((f"{r.backend} zipf hit rate", None,
+                     r.phase("zipf").hit_rate))
+        rows.append((f"{r.backend} modeled cycles", None, r.modeled_cycles))
+    report(benchmark, f"Workloads scenario gate ({PREFIXES} prefixes)", rows)

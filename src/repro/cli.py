@@ -239,6 +239,33 @@ def cmd_topo(args) -> int:
     return max((r.exit_code() for r in results), default=0)
 
 
+def cmd_workloads(args) -> int:
+    from repro.obs import export
+    from repro.workloads import run_workloads
+
+    backends = None if args.backend == "both" else (args.backend,)
+    result = run_workloads(
+        prefixes=args.prefixes,
+        probes=args.probes,
+        seed=args.seed,
+        backends=backends,
+        zipf_s=args.zipf_s,
+        cache_bits=args.cache_bits,
+        sample=args.sample,
+    )
+    if args.json:
+        print(export.dumps(export.sanitize(result.artifact()), indent=2,
+                           sort_keys=True))
+    else:
+        for line in result.table():
+            print(line)
+        if result.ok:
+            print(f"all invariants held across {len(result.reports)} backend(s)")
+        else:
+            print(f"INVARIANT VIOLATIONS: {', '.join(result.failures())}")
+    return result.exit_code()
+
+
 def cmd_plan(args) -> None:
     from repro.core.resource_model import plan
     from repro.net.mac import PortSpeed
@@ -273,6 +300,7 @@ COMMANDS: Dict[str, Callable] = {
     "monitor": cmd_monitor,
     "faults": cmd_faults,
     "topo": cmd_topo,
+    "workloads": cmd_workloads,
 }
 
 
@@ -370,6 +398,31 @@ def main(argv=None) -> int:
                              help="write the canonical incident log to this path")
     topo_parser.add_argument("--no-bench", action="store_true",
                              help="skip writing BENCH_topo_scenarios.json")
+    workloads_parser = sub.add_parser(
+        "workloads", help="build BGP-shaped tables, replay internet-shaped "
+        "probe streams and verify lookup invariants; exits non-zero when "
+        "any invariant breaks"
+    )
+    workloads_parser.add_argument("--prefixes", type=int, default=100_000,
+                                  help="routing-table size (default 100000)")
+    workloads_parser.add_argument("--probes", type=int, default=100_000,
+                                  help="Zipf probe count (default 100000)")
+    workloads_parser.add_argument("--seed", type=int, default=0,
+                                  help="workload seed (default 0); tables, "
+                                  "streams and results are deterministic per seed")
+    workloads_parser.add_argument("--backend",
+                                  choices=("cpe", "bidirectional", "both"),
+                                  default="both",
+                                  help="lookup backend(s) to exercise (default both)")
+    workloads_parser.add_argument("--zipf-s", type=float, default=1.1,
+                                  help="Zipf popularity exponent (default 1.1)")
+    workloads_parser.add_argument("--cache-bits", type=int, default=10,
+                                  help="route-cache size in bits (default 10)")
+    workloads_parser.add_argument("--sample", type=int, default=2_000,
+                                  help="trie-vs-reference agreement sample "
+                                  "size (default 2000)")
+    workloads_parser.add_argument("--json", action="store_true",
+                                  help="print the result artifact as JSON")
 
     args = parser.parse_args(argv)
     if args.command in (None, "list"):
@@ -388,6 +441,11 @@ def main(argv=None) -> int:
 
         print("topo scenarios (python -m repro topo <name> --seed N):")
         for name in [*TOPO_SCENARIOS, "all"]:
+            print(f"  {name}")
+        from repro.net.routing import LOOKUP_BACKENDS
+
+        print("lookup backends (python -m repro workloads --backend <name>):")
+        for name in [*LOOKUP_BACKENDS, "both"]:
             print(f"  {name}")
         return 0
     rc = COMMANDS[args.command](args)

@@ -12,7 +12,7 @@ the routing table at an acceptable rate".
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Set, Tuple
 
 from repro.control.linkstate import LSA_PROCESS_CYCLES, LinkStateNode
 from repro.core.forwarder import ForwarderSpec, Where
@@ -41,6 +41,10 @@ class ControlPlaneBinding:
         self.node = node
         self.lsas_received = 0
         self.route_programs = 0
+        self.route_withdrawals = 0
+        #: (prefix, length) pairs THIS binding programmed: the set we are
+        #: allowed to withdraw (never statically installed routes).
+        self._programmed: Set[Tuple[str, int]] = set()
         self._fids: Dict[str, int] = {}
         node.charge_cycles = self._charge
         self._pentium_cycles_charged = 0
@@ -91,12 +95,32 @@ class ControlPlaneBinding:
             self._program_routes()
         return changed
 
+    def reconcile(self) -> None:
+        """Re-sync the data plane with the node's current SPF verdict.
+        Needed after *locally-detected* topology changes (link up/down):
+        those recompute ``node.routes`` without any LSA arriving, so no
+        ``deliver_direct``/``_process`` call would otherwise reprogram
+        (or withdraw from) this router's table."""
+        self._program_routes()
+
     def _program_routes(self) -> None:
-        for (prefix, length), (__, out_port) in self.node.routes.items():
-            self.router.routing_table.add(prefix, length, out_port)
-            self.route_programs += 1
-        # The generation bump invalidates stale route-cache entries on
-        # its own; nothing else to do.
+        """Reconcile the routing table with SPF's verdict: program every
+        computed route AND withdraw the ones that vanished -- a
+        destination that became unreachable must stop resolving, or the
+        stale entry blackholes traffic forever.  The whole reconcile is
+        one bulk block: one generation bump, one cache invalidation,
+        instead of one per route (the invalidation storm)."""
+        table = self.router.routing_table
+        desired = {(prefix, length): out_port
+                   for (prefix, length), (__, out_port) in self.node.routes.items()}
+        with table.bulk():
+            for (prefix, length), out_port in desired.items():
+                table.add(prefix, length, out_port)
+                self.route_programs += 1
+            for prefix, length in self._programmed - set(desired):
+                if table.discard(prefix, length) is not None:
+                    self.route_withdrawals += 1
+        self._programmed = set(desired)
 
     @property
     def pentium_cycles_charged(self) -> int:

@@ -28,7 +28,7 @@ from repro.ixp.chip import ChipConfig, IXP1200
 from repro.ixp.queues import InputDiscipline, OutputDiscipline
 from repro.net.mac import MACPort, make_board_ports
 from repro.net.packet import Packet
-from repro.net.routing import RoutingTable
+from repro.net.routing import make_routing_table
 
 ROUTE_LOOKUP_CYCLES = 236  # controlled prefix expansion, section 4.4
 
@@ -56,6 +56,10 @@ class RouterConfig:
     # (generated on the StrongARM) instead of silently dropping.
     generate_icmp_errors: bool = False
     router_address: str = "10.255.255.1"
+    # Miss-path lookup structure on the StrongARM: "cpe" (the paper's
+    # controlled-prefix-expansion trie) or "bidirectional" (pipelined
+    # split trie); see repro.net.routing.LOOKUP_BACKENDS.
+    lookup_backend: str = "cpe"
 
 
 class Router:
@@ -64,7 +68,7 @@ class Router:
     def __init__(self, config: Optional[RouterConfig] = None, sim: Optional[Simulator] = None):
         self.config = config or RouterConfig()
         self.sim = sim if sim is not None else Simulator()
-        self.routing_table = RoutingTable()
+        self.routing_table = make_routing_table(self.config.lookup_backend)
         self.ports: List[MACPort] = make_board_ports(self.sim)[: self.config.num_ports]
 
         self.flow_table = FlowTable()
@@ -391,6 +395,13 @@ class Router:
     def stats(self) -> Dict[str, int]:
         snap = dict(self.chip.counters)
         snap["sa_local_processed"] = self.strongarm.local_processed
+        snap["sa_dropped_local"] = self.strongarm.dropped_local
+        # Unroutable drops specifically: no route existed at fill time.
+        # (Other local drops -- e.g. the ICMP generator consuming an
+        # expired packet -- are accounted by their own mechanisms.)
+        snap["sa_dropped_unroutable"] = (
+            self.strongarm.dropped_by.get("route-fill", 0)
+            + self.strongarm.dropped_by.get("full-ip", 0))
         snap["sa_bridged"] = self.strongarm.bridged
         if self.pentium is not None:
             snap["pentium_processed"] = self.pentium.processed

@@ -89,6 +89,10 @@ class StrongARM:
         self.bridge_backpressure = 0
         self.bridge_dropped = 0
         self.dropped_local = 0
+        # Per-forwarder drop attribution: an unroutable route-fill drop
+        # is a different animal from an ICMP generator consuming its
+        # input, and network accounting must not conflate them.
+        self.dropped_by: Dict[str, int] = {}
         self.crashed = False
         self.crashes = 0
         self.restarts = 0
@@ -202,6 +206,8 @@ class StrongARM:
         self.local_processed += 1
         if not keep:
             self.dropped_local += 1
+            self.dropped_by[forwarder.name] = (
+                self.dropped_by.get(forwarder.name, 0) + 1)
             return
         # Hand the packet back to the normal output path.
         yield from self.chip.sram.write(tag="sa.requeue")

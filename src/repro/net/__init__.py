@@ -12,13 +12,16 @@ from repro.net.ip import IPv4Header, checksum16
 from repro.net.mac import MACPort, PortSpeed
 from repro.net.mp import MacPacket, MPPosition, reassemble_mps, segment_packet
 from repro.net.packet import FlowKey, Packet, make_tcp_packet, make_udp_like_packet
-from repro.net.routing import Route, RouteCache, RoutingTable
+from repro.net.routing import (BidirectionalTable, LookupBackend, Route,
+                               RouteCache, RoutingTable, make_routing_table)
 from repro.net.tcp import TCP_ACK, TCP_FIN, TCP_PSH, TCP_RST, TCP_SYN, TCPHeader
 
 __all__ = [
+    "BidirectionalTable",
     "ETHERTYPE_IPV4",
     "EthernetHeader",
     "FlowKey",
+    "LookupBackend",
     "IPv4Address",
     "IPv4Header",
     "MACAddress",
@@ -37,6 +40,7 @@ __all__ = [
     "TCP_SYN",
     "TCPHeader",
     "checksum16",
+    "make_routing_table",
     "make_tcp_packet",
     "make_udp_like_packet",
     "reassemble_mps",

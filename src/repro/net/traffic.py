@@ -31,9 +31,10 @@ def standard_table(num_ports: int = 10):
     from repro.net.routing import RoutingTable
 
     table = RoutingTable()
-    for port in range(num_ports):
-        table.add(f"10.{port}.0.0", 16, port)
-    table.add_default(0)
+    with table.bulk():  # one generation bump / cache clear, not N
+        for port in range(num_ports):
+            table.add(f"10.{port}.0.0", 16, port)
+        table.add_default(0)
     return table
 
 
@@ -159,8 +160,14 @@ def flow_mix(
     4-tuple; used by the per-flow forwarder examples."""
     rng = random.Random(seed)
     seqs = {flow: 1 for flow in flows}
+    # Hoisted out of the loop: rebuilding the population list (and the
+    # cumulative weights) per packet made every draw O(len(flows)).
+    population = list(flows)
+    cum_weights = None
+    if weights is not None:
+        cum_weights = list(itertools.accumulate(weights))
     for __ in range(count):
-        flow = rng.choices(list(flows), weights=weights)[0]
+        flow = rng.choices(population, cum_weights=cum_weights)[0]
         src, sport, dst, dport = flow
         packet = make_tcp_packet(
             src, dst, sport, dport,

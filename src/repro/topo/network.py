@@ -230,6 +230,7 @@ class RouterNode:
         snap["lsas_flooded"] = self.node.flooded
         snap["routes"] = len(self.node.routes)
         snap["route_programs"] = self.binding.route_programs
+        snap["route_withdrawals"] = self.binding.route_withdrawals
         snap["rx_dropped_packets"] = sum(
             p.stats.counter("rx_dropped_packets").value for p in self.router.ports)
         snap["rx_fault_dropped"] = sum(
@@ -551,6 +552,11 @@ class Topology:
                 nb.node.remove_link(na.router_id)
                 na.node.originate()
                 nb.node.originate()
+                # Local detection reprograms locally: no LSA arrives at
+                # the detecting router itself, so reconcile explicitly
+                # or its table keeps stale blackhole routes.
+                na.binding.reconcile()
+                nb.binding.reconcile()
                 self._watch_reconvergence(f"link {link.name} failure")
             if restore_at is not None:
                 yield Delay(max(1, restore_at - at))
@@ -562,6 +568,8 @@ class Topology:
                                 f"link {link.name} restored", severity="green")
                     na.node.originate()
                     nb.node.originate()
+                    na.binding.reconcile()
+                    nb.binding.reconcile()
                     self._watch_reconvergence(f"link {link.name} restore")
 
         self.sim.spawn(failer(), name=f"topo-fail-{link.name}")
@@ -691,6 +699,7 @@ class Topology:
                 + snap.get("sa_drops", 0) + snap.get("lost_buffers", 0)
                 + snap.get("classifier_failures", 0)
                 + snap.get("sa_bridge_dropped", 0)
+                + snap.get("sa_dropped_unroutable", 0)
                 + snap.get("i2o_messages_lost", 0)
                 + snap["rx_dropped_packets"] + snap["rx_fault_dropped"])
         in_flight = sum(link.in_flight for link in self.links)

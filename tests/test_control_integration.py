@@ -129,3 +129,79 @@ def test_protocol_keeps_share_under_pentium_flood():
     # All LSAs processed despite the flood; routes learned.
     assert binding.lsas_received == 3
     assert router.routing_table.lookup(IPv4Address("10.77.0.1")) is not None
+
+
+# ---------------------------------------------------------------------------
+# Route withdrawal: vanished destinations must stop resolving
+# ---------------------------------------------------------------------------
+
+
+def test_withdrawn_network_is_removed_from_table():
+    """A destination that disappears from SPF's verdict must be
+    withdrawn from the data plane -- the stale entry would blackhole
+    traffic forever."""
+    router, node, binding = bound_router()
+    binding.deliver_direct(neighbor_lsa(1).to_bytes(), from_neighbor=2)
+    assert router.routing_table.lookup(IPv4Address("10.77.0.1")) is not None
+
+    # Router 2 re-advertises with the network gone.
+    gone = LinkStateAd(router_id=2, sequence=2, neighbors=((1, 1),),
+                       networks=())
+    binding.deliver_direct(gone.to_bytes(), from_neighbor=2)
+    assert router.routing_table.lookup(IPv4Address("10.77.0.1")) is None
+    assert binding.route_withdrawals >= 1
+
+
+def test_withdrawal_spares_statically_installed_routes():
+    """The binding only withdraws what it programmed: operator-installed
+    routes (here 10.0.0.0/16 from bound_router) survive reconciles."""
+    router, node, binding = bound_router()
+    binding.deliver_direct(neighbor_lsa(1).to_bytes(), from_neighbor=2)
+    gone = LinkStateAd(router_id=2, sequence=2, neighbors=((1, 1),),
+                       networks=())
+    binding.deliver_direct(gone.to_bytes(), from_neighbor=2)
+    static = router.routing_table.lookup(IPv4Address("10.0.0.1"))
+    assert static is not None and static.out_port == 0
+
+
+def test_neighbor_loss_withdraws_learned_routes():
+    """Losing the adjacency itself (not just the LSA contents) must
+    withdraw everything learned through that neighbor."""
+    router, node, binding = bound_router()
+    binding.deliver_direct(neighbor_lsa(1).to_bytes(), from_neighbor=2)
+    assert router.routing_table.lookup(IPv4Address("10.77.0.1")) is not None
+
+    node.remove_link(2)
+    node.originate()
+    binding.reconcile()
+    assert router.routing_table.lookup(IPv4Address("10.77.0.1")) is None
+
+
+def test_partition_leaves_no_stale_blackhole_route():
+    """Regression for the stale-blackhole bug: after a partition the
+    near-side router must stop resolving the far side's prefix instead
+    of forwarding into the dead link forever."""
+    from repro.topo import builders
+
+    topo = builders.line(2, seed=7)
+    topo.converge()
+    r1 = topo.nodes["r1"]
+    h2 = topo.hosts["h2"]
+    far = IPv4Address(h2.address)
+    assert r1.router.routing_table.lookup(far) is not None
+
+    topo.fail_link("r1", "r2", at=1_000)
+    topo.run(60_000)
+    # The only path is gone; SPF has no route, so neither may the table.
+    assert r1.router.routing_table.lookup(far) is None
+    assert r1.binding.route_withdrawals >= 1
+
+    # Traffic to the lost prefix is now *accountably* dropped (unroutable
+    # on the slow path), not silently forwarded into the dead link.
+    h1 = topo.hosts["h1"]
+    h1.start_flow(h2, count=5, interval=2_000, flow="post-partition")
+    topo.run(80_000)
+    assert h2.received_by_flow.get("post-partition", 0) == 0
+    assert r1.router.strongarm.dropped_local >= 5
+    acct = topo.accounting()
+    assert acct["residual"] == 0

@@ -236,3 +236,25 @@ def test_bad_checksum_dropped_by_classifier():
     router.run(2_000_000)
     assert router.stats()["classifier_failures"] == 1
     assert len(router.transmitted()) == 3  # only the good ones
+
+
+def test_router_with_bidirectional_lookup_backend():
+    """The lookup backend is selectable per router; forwarding through
+    the exceptional path must behave identically on the alternate one."""
+    from repro.net.routing import BidirectionalTable
+
+    router = booted_router(lookup_backend="bidirectional")
+    assert isinstance(router.routing_table, BidirectionalTable)
+    packets = take(uniform_flood(12, num_ports=4), 12)
+    warm(router, packets)
+    router.inject(9, uniform_flood(12, num_ports=4))
+    router.run(2_000_000)
+    for port in range(4):
+        out = router.transmitted(port)
+        assert len(out) == 3
+        assert all(p.meta["out_port"] == port for p in out)
+
+
+def test_router_rejects_unknown_lookup_backend():
+    with pytest.raises(ValueError):
+        Router(RouterConfig(lookup_backend="quantum"))

@@ -1,0 +1,133 @@
+"""Randomized long-run property test for the lookup backends.
+
+Drives 50k add/reprogram/remove operations (12.5k per configuration:
+three CPE stride layouts plus the bidirectional pipeline) against an
+independent mirror of the route set, checking after every mutation that
+``lookup`` agrees with a mirror-computed longest-prefix match, with
+periodic cross-checks against ``lookup_linear`` and
+``lookup_reference``."""
+
+import random
+from typing import Dict, Optional, Tuple
+
+import pytest
+
+from repro.net import IPv4Address
+from repro.net.routing import make_routing_table
+
+OPS = 12_500
+CONFIGS = [
+    ("cpe", {"strides": (16, 8, 8)}),
+    ("cpe", {"strides": (8, 8, 8, 8)}),
+    ("cpe", {"strides": (16, 8, 4, 4)}),
+    ("bidirectional", {}),
+]
+
+
+def _mask(length: int) -> int:
+    return (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF if length else 0
+
+
+def _mirror_lpm(live: Dict[Tuple[int, int], int], value: int) -> Optional[Tuple[int, int, int]]:
+    """Longest-prefix match computed from the mirror alone."""
+    for length in range(32, -1, -1):
+        key = (value & _mask(length), length)
+        if key in live:
+            return (key[0], length, live[key])
+    return None
+
+
+def _random_route(rng: random.Random) -> Tuple[int, int]:
+    # No /0 here: a default route expands across every root slot, which
+    # makes each withdrawal-triggered rebuild O(2^stride) and the run
+    # quadratic.  Default-route semantics are covered by the unit tests.
+    length = rng.choice((8, 12, 15, 16, 17, 20, 22, 24, 28, 32))
+    value = rng.getrandbits(32) & _mask(length)
+    return value, length
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "backend,kwargs", CONFIGS,
+    ids=["cpe-16-8-8", "cpe-8x4", "cpe-16-8-4-4", "bidirectional"])
+def test_randomized_ops_agree_with_mirror(backend, kwargs):
+    rng = random.Random(f"lookup-props:{backend}:{sorted(kwargs.items())}")
+    table = make_routing_table(backend, **kwargs)
+    live: Dict[Tuple[int, int], int] = {}
+
+    def check(value: int) -> None:
+        addr = IPv4Address(value)
+        got = table.lookup(addr)
+        expected = _mirror_lpm(live, value)
+        if expected is None:
+            assert got is None, f"ghost route for {addr}: {got}"
+        else:
+            assert got is not None, f"lost route for {addr}, want {expected}"
+            assert (got.prefix.value, got.length, got.out_port) == expected
+        assert got == table.lookup_reference(addr)
+
+    live_keys = []  # unordered view for O(1) random picks
+    # Keep the live set near an equilibrium: CPE withdrawal rebuilds the
+    # trie (O(routes)), so an ever-growing set would make 50k ops
+    # quadratic without testing anything extra.
+    target_live = 150
+
+    def pick_live():
+        """Random live key; purges dead keys (swap-remove) as it goes so
+        the pick distribution does not drift toward no-op removals."""
+        while live_keys:
+            i = rng.randrange(len(live_keys))
+            key = live_keys[i]
+            if key in live:
+                return key
+            live_keys[i] = live_keys[-1]
+            live_keys.pop()
+        return None
+
+    for op_i in range(OPS):
+        roll = rng.random()
+        add_p = 0.55 if len(live) < target_live else 0.10
+        if roll < add_p or not live:
+            value, length = _random_route(rng)
+            port = rng.randrange(16)
+            if (value, length) not in live:
+                live_keys.append((value, length))
+            live[(value, length)] = port
+            table.add(str(IPv4Address(value)), length, port)
+        elif roll < add_p + 0.30:
+            picked = pick_live()
+            value, length = picked
+            # Exercise both spellings of absence alongside the removal.
+            assert table.discard(str(IPv4Address(0)), 31) is None
+            del live[(value, length)]
+            table.remove(str(IPv4Address(value)), length)
+        elif roll < add_p + 0.35:
+            # Reprogram: a bulk batch of adds + withdrawals, one commit.
+            with table.bulk():
+                for __ in range(rng.randrange(2, 10)):
+                    value, length = _random_route(rng)
+                    port = rng.randrange(16)
+                    if (value, length) not in live:
+                        live_keys.append((value, length))
+                    live[(value, length)] = port
+                    table.add(str(IPv4Address(value)), length, port)
+                for __ in range(rng.randrange(0, 4)):
+                    value, length = live_keys[rng.randrange(len(live_keys))]
+                    if (value, length) in live:
+                        del live[(value, length)]
+                        table.remove(str(IPv4Address(value)), length)
+        # else: probe-only round.
+
+        check(rng.getrandbits(32))
+        if live:
+            value, length = live_keys[rng.randrange(len(live_keys))]
+            host = rng.getrandbits(32 - length) if length < 32 else 0
+            check((value & _mask(length)) | host)
+        if op_i % 500 == 0:
+            probe = IPv4Address(rng.getrandbits(32))
+            assert table.lookup(probe) == table.lookup_linear(probe)
+
+    assert len(table) == len(live)
+    # Final dense sweep: the structure and mirror agree everywhere sampled.
+    for __ in range(500):
+        check(rng.getrandbits(32))

@@ -145,3 +145,159 @@ def test_route_cache_warm_and_invalidate():
     assert cache.lookup(IPv4Address("10.1.2.3")) is not None
     cache.invalidate()
     assert cache.lookup(IPv4Address("10.1.2.3")) is None
+
+
+# ---------------------------------------------------------------------------
+# Withdrawal, bulk updates and the pluggable backend surface
+# ---------------------------------------------------------------------------
+
+
+def test_remove_restores_covering_route():
+    table = build_basic_table()
+    assert table.lookup(IPv4Address("10.1.2.3")).out_port == 4
+    table.remove("10.1.2.3", 32)
+    # The /24 underneath must answer again -- not the stale /32.
+    assert table.lookup(IPv4Address("10.1.2.3")).out_port == 3
+    table.remove("10.1.2.0", 24)
+    assert table.lookup(IPv4Address("10.1.2.3")).out_port == 2
+
+
+def test_remove_missing_raises_discard_does_not():
+    table = build_basic_table()
+    with pytest.raises(KeyError):
+        table.remove("4.4.4.0", 24)
+    assert table.discard("4.4.4.0", 24) is None
+    removed = table.discard("10.1.2.0", 24)
+    assert removed is not None and removed.out_port == 3
+
+
+def test_remove_last_route_empties_table():
+    table = RoutingTable()
+    table.add("10.0.0.0", 8, 1)
+    table.remove("10.0.0.0", 8)
+    assert len(table) == 0
+    assert table.lookup(IPv4Address("10.1.1.1")) is None
+
+
+def test_add_same_coverage_different_spelling_replaces():
+    """Two spellings of one covering prefix are the same logical route."""
+    table = RoutingTable()
+    table.add("10.1.2.0", 24, 1)
+    table.add("10.1.2.99", 24, 2)  # host bits ignored: same /24
+    assert len(table) == 1
+    assert table.lookup(IPv4Address("10.1.2.50")).out_port == 2
+
+
+def test_add_many_fires_listener_once():
+    table = RoutingTable()
+    fires = []
+    table.add_listener(lambda: fires.append(table.generation))
+    table.add_many([("10.0.0.0", 8, 1), ("10.1.0.0", 16, 2),
+                    ("10.1.2.0", 24, 3)])
+    assert fires == [1]
+    assert table.generation == 1
+    assert table.lookup(IPv4Address("10.1.2.9")).out_port == 3
+
+
+def test_bulk_nesting_defers_to_outermost():
+    table = RoutingTable()
+    fires = []
+    table.add_listener(lambda: fires.append(None))
+    with table.bulk():
+        table.add("10.0.0.0", 8, 1)
+        with table.bulk():
+            table.add("10.1.0.0", 16, 2)
+            table.remove("10.0.0.0", 8)
+        assert fires == []  # still inside the outer bulk
+    assert len(fires) == 1 and table.generation == 1
+    assert table.lookup(IPv4Address("10.9.9.9")) is None
+    assert table.lookup(IPv4Address("10.1.1.1")).out_port == 2
+
+
+def test_bulk_without_changes_is_silent():
+    table = build_basic_table()
+    generation = table.generation
+    with table.bulk():
+        pass
+    assert table.generation == generation
+
+
+def test_route_cache_invalidation_counts_bulk_once():
+    table = build_basic_table()
+    cache = RouteCache(table, size_bits=8)
+    before = cache.invalidations
+    with table.bulk():
+        for i in range(20):
+            table.add(f"172.16.{i}.0", 24, i % 4)
+    assert cache.invalidations == before + 1
+
+
+def test_make_routing_table_selects_backend():
+    from repro.net import BidirectionalTable, make_routing_table
+
+    assert isinstance(make_routing_table("cpe"), RoutingTable)
+    assert isinstance(make_routing_table("bidirectional"), BidirectionalTable)
+    with pytest.raises(ValueError):
+        make_routing_table("no-such-backend")
+
+
+def test_probe_bounds():
+    from repro.net import make_routing_table
+
+    assert make_routing_table("cpe").probe_bound() == 3
+    assert RoutingTable(strides=(8, 8, 8, 8)).probe_bound() == 4
+    assert make_routing_table("bidirectional").probe_bound() == 18
+
+
+def _fill_both():
+    from repro.net import BidirectionalTable
+
+    cpe = build_basic_table()
+    bidi = BidirectionalTable()
+    bidi.add_default(9)
+    for prefix, length in [("10.0.0.0", 8), ("10.1.0.0", 16),
+                           ("10.1.2.0", 24), ("10.1.2.3", 32),
+                           ("192.168.0.0", 16)]:
+        route = cpe._routes[(IPv4Address(prefix).value, length)]
+        bidi.add(prefix, length, route.out_port)
+    return cpe, bidi
+
+
+def test_bidirectional_agrees_with_cpe():
+    cpe, bidi = _fill_both()
+    for probe in ["10.1.2.3", "10.1.2.9", "10.1.9.9", "10.9.9.9",
+                  "192.168.77.1", "8.8.8.8"]:
+        addr = IPv4Address(probe)
+        assert bidi.lookup(addr).out_port == cpe.lookup(addr).out_port
+
+
+def test_bidirectional_remove_and_bound():
+    _, bidi = _fill_both()
+    bidi.remove("10.1.2.3", 32)
+    assert bidi.lookup(IPv4Address("10.1.2.3")).out_port == 3
+    bidi.remove("192.168.0.0", 16)
+    assert bidi.lookup(IPv4Address("192.168.1.1")).out_port == 9  # default
+    assert 0 < bidi.avg_probes <= bidi.probe_bound()
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    routes=st.lists(
+        st.tuples(st.integers(0, 0xFFFFFFFF), st.integers(0, 32), st.integers(0, 15)),
+        min_size=0,
+        max_size=20,
+    ),
+    probes=st.lists(st.integers(0, 0xFFFFFFFF), min_size=1, max_size=20),
+)
+def test_bidirectional_matches_references(routes, probes):
+    from repro.net import BidirectionalTable
+
+    table = BidirectionalTable()
+    for value, length, port in routes:
+        masked = value & (0xFFFFFFFF << (32 - length)) if length else 0
+        table.add(str(IPv4Address(masked)), length, port)
+    for probe in probes:
+        addr = IPv4Address(probe)
+        assert table.lookup(addr) == table.lookup_reference(addr)
+        linear = table.lookup_linear(addr)
+        assert (table.lookup(addr) is None) == (linear is None)
