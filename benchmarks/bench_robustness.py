@@ -12,7 +12,6 @@ higher levels saturate -- and even then only the exceptional stream
 suffers.
 """
 
-import math
 
 import pytest
 from conftest import report, run_once

@@ -9,7 +9,7 @@ crossover points -- and loose quantitative bands.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Sequence
 
 
 def run_once(benchmark, fn):

@@ -16,8 +16,8 @@ and lowers the cutoff via setdata.
 """
 
 from repro import Router
-from repro.net.addresses import IPv4Address
 from repro.core.forwarders import wavelet_dropper
+from repro.net.addresses import IPv4Address
 from repro.net.packet import FlowKey, make_tcp_packet
 
 FLOW = dict(src="192.168.1.2", dst="10.2.0.1", src_port=4000, dst_port=9000)

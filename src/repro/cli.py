@@ -266,6 +266,18 @@ def cmd_workloads(args) -> int:
     return result.exit_code()
 
 
+def cmd_lint(args) -> int:
+    from repro.lint import run_lint
+
+    return run_lint(
+        args.paths,
+        json_out=args.json,
+        baseline_path=args.baseline,
+        write_baseline_path=args.write_baseline,
+        show_rules=args.rules,
+    )
+
+
 def cmd_plan(args) -> None:
     from repro.core.resource_model import plan
     from repro.net.mac import PortSpeed
@@ -301,6 +313,7 @@ COMMANDS: Dict[str, Callable] = {
     "faults": cmd_faults,
     "topo": cmd_topo,
     "workloads": cmd_workloads,
+    "lint": cmd_lint,
 }
 
 
@@ -423,6 +436,22 @@ def main(argv=None) -> int:
                                   "size (default 2000)")
     workloads_parser.add_argument("--json", action="store_true",
                                   help="print the result artifact as JSON")
+    lint_parser = sub.add_parser(
+        "lint", help="determinism & invariant static analysis; exits "
+        "non-zero on any non-baselined violation"
+    )
+    lint_parser.add_argument("paths", nargs="*", default=[],
+                             help="files/directories to lint (default: src/)")
+    lint_parser.add_argument("--json", action="store_true",
+                             help="emit the report as JSON (machine-readable)")
+    lint_parser.add_argument("--baseline", default=None, metavar="FILE",
+                             help="subtract grandfathered violations recorded "
+                             "in FILE (see lint-baseline.json)")
+    lint_parser.add_argument("--write-baseline", default=None, metavar="FILE",
+                             help="record the current violations as the new "
+                             "baseline and exit 0")
+    lint_parser.add_argument("--rules", action="store_true",
+                             help="print the rule-code table and exit")
 
     args = parser.parse_args(argv)
     if args.command in (None, "list"):

@@ -18,7 +18,7 @@ cycle cost is charged to the Pentium when attached to a router.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 import networkx
@@ -46,7 +46,7 @@ class LinkStateAd:
             "sequence": self.sequence,
             "neighbors": list(self.neighbors),
             "networks": list(self.networks),
-        }).encode()
+        }, sort_keys=True).encode()
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "LinkStateAd":

@@ -14,7 +14,7 @@ in the data plane.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.core.forwarder import ForwarderSpec, Where
 from repro.core.vrp import HashOp, RegOps, SramRead, SramWrite, VRPProgram

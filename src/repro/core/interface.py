@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.core.admission import AdmissionControl, AdmissionError
-from repro.core.classifier import Classifier, FlowEntry, FlowTable
+from repro.core.classifier import Classifier, FlowTable
 from repro.core.forwarder import ALL, ForwarderSpec, Where
 from repro.net.packet import FlowKey
 

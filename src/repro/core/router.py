@@ -235,7 +235,6 @@ class Router:
         )
 
         if self.config.generate_icmp_errors:
-            from repro.ixp.buffers import BufferHandle
             from repro.ixp.queues import PacketDescriptor
             from repro.net.addresses import IPv4Address as _Addr
             from repro.net.icmp import time_exceeded

@@ -20,7 +20,7 @@ The prototype budget (section 4.3, 8 x 100 Mbps line rate):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.ixp.programs import TimedVRP

@@ -20,8 +20,8 @@ the paper anticipated.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
 
 from repro.core.vrp import RegOps, SramRead, SramWrite, VRPProgram
 

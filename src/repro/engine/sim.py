@@ -33,10 +33,9 @@ from __future__ import annotations
 
 import gc
 import os
+from collections import deque
 from heapq import heappop, heappush
 from typing import Any, Callable, Deque, Generator, Iterable, List, Optional, Tuple
-
-from collections import deque
 
 from repro.obs.recorder import NULL_RECORDER
 

@@ -39,17 +39,73 @@ RX_DUPLICATE = 3
 
 
 class NullInjector:
-    """Stands in at every hook site while fault injection is off."""
+    """Stands in at every hook site while fault injection is off.
+
+    Mirrors :class:`FaultInjector`'s full public surface as no-ops --
+    hot-path hooks (``on_rx``/``on_i2o_send``) return the neutral
+    verdict, scheduling and bookkeeping methods accept every call the
+    live class accepts and do nothing -- so code written against an
+    injector never needs an ``is not None`` dance and a disabled run
+    cannot crash with ``AttributeError``.  ``repro lint`` enforces the
+    parity statically (rules RPR201/RPR204)."""
 
     __slots__ = ()
 
     enabled = False
+
+    # -- hot-path hooks (guarded by ``enabled`` at every call site) ------------
 
     def on_rx(self, port, packet) -> int:
         return RX_OK
 
     def on_i2o_send(self, pair) -> bool:
         return False
+
+    # -- bookkeeping no-ops ----------------------------------------------------
+
+    def count(self, kind: str, n: int = 1) -> None:
+        pass
+
+    def record(self, kind: str, detail: str, severity: str = "yellow") -> Dict[str, Any]:
+        return {}
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"seed": None, "active": 0, "incidents": 0, "counts": {}}
+
+    # -- attachment / scheduling no-ops ----------------------------------------
+
+    def attach_router(self, router, label: Optional[str] = None) -> "NullInjector":
+        return self
+
+    def schedule_link_flap(self, port, at: int, down_cycles: int) -> None:
+        pass
+
+    def schedule_packet_faults(self, port, start: int, stop: int,
+                               drop: float = 0.0, corrupt: float = 0.0,
+                               duplicate: float = 0.0) -> None:
+        pass
+
+    def schedule_memory_spike(self, memory, at: int, hold_cycles: int,
+                              label: str = "memory") -> None:
+        pass
+
+    def schedule_engine_stall(self, engine, at: int, hold_cycles: int,
+                              kind: str = "me-stall") -> None:
+        pass
+
+    def schedule_engine_crash(self, engine, at: int, reboot_cycles: int) -> None:
+        pass
+
+    def schedule_pci_stall(self, bus, at: int, hold_cycles: int) -> None:
+        pass
+
+    def schedule_i2o_loss(self, pair, start: int, stop: int, rate: float) -> None:
+        pass
+
+    def schedule_host_crash(self, host, at: int,
+                            restart_after: Optional[int] = None,
+                            label: str = "host") -> None:
+        pass
 
 
 #: The module-level null injector every hook site points at by default.

@@ -23,7 +23,7 @@ packets.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.core.forwarder import Where
 from repro.core.vrp import VRPProgram

@@ -12,10 +12,10 @@ from __future__ import annotations
 
 from typing import NamedTuple, Optional
 
-from repro.engine import Delay, Simulator
+from repro.engine import Delay
 from repro.hosts.pci import I2OQueuePair, PCIBus
-from repro.hosts.pentium import PentiumHost, PentiumParams
-from repro.hosts.strongarm import SAParams, StrongARM
+from repro.hosts.pentium import PentiumHost
+from repro.hosts.strongarm import StrongARM
 from repro.ixp.buffers import BufferHandle
 from repro.ixp.chip import ChipConfig, IXP1200
 from repro.ixp.queues import PacketDescriptor

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Generator, Optional
 
 from repro.engine import Delay, Simulator
-from repro.hosts.pci import EAGER_BYTES, I2OMessage, I2OQueuePair, PCIBus
+from repro.hosts.pci import I2OMessage, I2OQueuePair, PCIBus
 from repro.hosts.scheduling import StrideScheduler
 from repro.obs.recorder import NULL_RECORDER
 

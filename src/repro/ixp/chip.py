@@ -16,8 +16,8 @@ Two traffic modes exist, mirroring the paper's methodology:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, NamedTuple, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence
 
 from repro.engine import Resource, Simulator
 from repro.ixp.buffers import BufferHandle, BufferPool

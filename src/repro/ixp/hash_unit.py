@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Generator
 
-from repro.engine import Delay, Simulator, delay
+from repro.engine import Simulator, delay
 from repro.net.routing import hardware_hash
 
 

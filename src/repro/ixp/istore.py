@@ -15,7 +15,7 @@ disabled for the duration.
 
 from __future__ import annotations
 
-from typing import Dict, List, NamedTuple, Optional, Tuple
+from typing import Dict, List, NamedTuple, Tuple
 
 WRITE_CYCLES_PER_INSTRUCTION = 80  # two accesses x 40 cycles each
 

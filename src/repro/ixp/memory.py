@@ -11,9 +11,9 @@ the system reaches only ~80% of the register-count bound.
 from __future__ import annotations
 
 import enum
-from typing import Dict, Generator, Optional, Tuple
+from typing import Dict, Generator, Tuple
 
-from repro.engine import Delay, Resource, Simulator, delay
+from repro.engine import Resource, Simulator, delay
 from repro.ixp.params import MemoryTiming
 
 

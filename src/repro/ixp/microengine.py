@@ -21,9 +21,9 @@ methods; the rules are:
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional
+from typing import Generator, List
 
-from repro.engine import Delay, Resource, Simulator, delay
+from repro.engine import Resource, Simulator, delay
 from repro.ixp.memory import Memory
 from repro.ixp.params import IXPParams
 from repro.ixp.token_ring import TokenRing

@@ -18,7 +18,7 @@ from typing import Dict, Generator, NamedTuple, Optional, Tuple
 from repro.ixp.buffers import BufferHandle
 from repro.ixp.memory import AccessJitter
 from repro.ixp.microengine import MicroContext
-from repro.ixp.queues import InputDiscipline, OutputDiscipline, PacketDescriptor, PacketQueue
+from repro.ixp.queues import InputDiscipline, OutputDiscipline, PacketDescriptor
 
 
 class WorkItem(NamedTuple):

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from typing import Deque, Dict, List, NamedTuple, Optional, Tuple
+from typing import Deque, Dict, List, NamedTuple, Optional
 
 from repro.ixp.buffers import BufferHandle
 from repro.obs.recorder import NULL_RECORDER

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Generator, List, Sequence
 
-from repro.engine import Delay, Event, Simulator, delay
+from repro.engine import Event, Simulator, delay
 
 
 def interleave_across_engines(context_ids: Sequence[int], contexts_per_me: int) -> List[int]:

@@ -1,0 +1,77 @@
+"""Baseline bookkeeping: grandfather existing violations, fail new ones.
+
+A baseline file records the violations present when the gate was
+introduced, keyed by ``(path, code)`` with an occurrence count -- line
+numbers are recorded for humans but deliberately not matched, so
+unrelated edits that shift a grandfathered violation by a few lines do
+not break CI.  New violations (any occurrence beyond the baselined
+count for its ``(path, code)`` bucket) still fail; entries whose debt
+has been paid down are reported as stale so the baseline ratchets
+toward empty.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from repro.lint.base import Violation
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str) -> Dict[Tuple[str, str], int]:
+    """``(path, code) -> allowed count`` from a baseline file."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {doc.get('version')!r} in {path}"
+        )
+    allowed: Dict[Tuple[str, str], int] = {}
+    for entry in doc.get("violations", []):
+        key = (entry["path"], entry["code"])
+        allowed[key] = allowed.get(key, 0) + 1
+    return allowed
+
+
+def apply_baseline(violations: List[Violation],
+                   allowed: Dict[Tuple[str, str], int],
+                   ) -> Tuple[List[Violation], int, List[str]]:
+    """``(new_violations, baselined_count, stale_entries)``.
+
+    Violations are consumed against the baseline in sorted order; the
+    remainder are new.  ``stale_entries`` names buckets whose allowance
+    exceeds the violations actually present (debt already paid; prune
+    them from the baseline)."""
+    remaining = dict(allowed)
+    fresh: List[Violation] = []
+    baselined = 0
+    for v in sorted(violations):
+        key = (v.path, v.code)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            baselined += 1
+        else:
+            fresh.append(v)
+    stale = [f"{path}: {code} x{count}"
+             for (path, code), count in sorted(remaining.items()) if count > 0]
+    return fresh, baselined, stale
+
+
+def render_baseline(violations: List[Violation]) -> str:
+    """The canonical baseline document for the given violations."""
+    doc = {
+        "version": BASELINE_VERSION,
+        "violations": [
+            {"path": v.path, "code": v.code, "line": v.line,
+             "message": v.message}
+            for v in sorted(violations)
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def write_baseline(violations: List[Violation], path: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(render_baseline(violations))

@@ -1,0 +1,88 @@
+"""``python -m repro lint``: the CLI front-end over the lint pipeline.
+
+Exit status: 0 when the tree is clean (or every violation is
+baselined), 1 when any new violation remains, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.lint.base import RULES, Violation
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+from repro.lint.runner import iter_python_files, lint_paths
+
+
+def _counts(violations: List[Violation]) -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    for v in violations:
+        out[v.code] = out.get(v.code, 0) + 1
+    return out
+
+
+def rule_table() -> str:
+    lines = ["rule     summary", "----     -------"]
+    for code in sorted(RULES):
+        lines.append(f"{code}   {RULES[code]}")
+    lines.append("")
+    lines.append("suppress one line:  # repro-lint: disable=RPR101")
+    lines.append("suppress a file:    # repro-lint: file-disable=RPR202")
+    lines.append("details: docs/static-analysis.md")
+    return "\n".join(lines)
+
+
+def run_lint(paths: List[str], json_out: bool = False,
+             baseline_path: Optional[str] = None,
+             write_baseline_path: Optional[str] = None,
+             show_rules: bool = False) -> int:
+    if show_rules:
+        print(rule_table())
+        return 0
+
+    if not paths:
+        paths = ["src"] if os.path.isdir("src") else ["."]
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print(f"repro lint: no such path: {', '.join(missing)}")
+        return 2
+
+    files = iter_python_files(paths)
+    violations = lint_paths(paths)
+
+    if write_baseline_path:
+        write_baseline(violations, write_baseline_path)
+        print(f"baseline with {len(violations)} violation(s) written to "
+              f"{write_baseline_path}")
+        return 0
+
+    baselined = 0
+    stale: List[str] = []
+    fresh = violations
+    if baseline_path:
+        fresh, baselined, stale = apply_baseline(
+            violations, load_baseline(baseline_path))
+
+    if json_out:
+        doc = {
+            "version": 1,
+            "checked_files": len(files),
+            "violations": [v.to_dict() for v in fresh],
+            "counts": _counts(fresh),
+            "baselined": baselined,
+            "stale_baseline_entries": stale,
+            "ok": not fresh,
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        for v in fresh:
+            print(v.format())
+        summary = (f"repro lint: {len(fresh)} violation(s) across "
+                   f"{len(files)} file(s)")
+        if baselined:
+            summary += f" ({baselined} baselined)"
+        print(summary)
+        for entry in stale:
+            print(f"  stale baseline entry (prune it): {entry}")
+    return 1 if fresh else 0

@@ -1,0 +1,78 @@
+"""The lint pipeline: discover files, run rules, apply suppressions."""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable, List, Optional
+
+# Importing the rule modules registers their rules.
+from repro.lint import determinism, parity, tracenames  # noqa: F401
+from repro.lint.base import (
+    FILE_RULES,
+    PROJECT_RULES,
+    LintConfig,
+    LintContext,
+    Violation,
+    apply_suppressions,
+)
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis"})
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Every ``.py`` file under ``paths`` (files pass through as-is),
+    sorted for deterministic scan order."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            out.append(path)
+            continue
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(d for d in dirs
+                             if d not in _SKIP_DIRS and not d.endswith(".egg-info"))
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    out.append(os.path.join(root, name))
+    return sorted(set(out))
+
+
+def _display_path(path: str) -> str:
+    """cwd-relative posix path when possible (stable across machines,
+    matching committed baselines); absolute otherwise."""
+    rel = os.path.relpath(path)
+    chosen = path if rel.startswith("..") else rel
+    return chosen.replace(os.sep, "/")
+
+
+def lint_source(source: str, path: str = "<snippet>",
+                ctx: Optional[LintContext] = None) -> List[Violation]:
+    """Run every file rule over one source text; suppressions applied.
+    The primary unit-test entry point."""
+    if ctx is None:
+        ctx = LintContext()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [Violation(path, exc.lineno or 1, exc.offset or 0, "RPR001",
+                          f"syntax error: {exc.msg}")]
+    violations: List[Violation] = []
+    for rule in FILE_RULES:
+        violations.extend(rule(tree, source, path, ctx))
+    return sorted(apply_suppressions(violations, source))
+
+
+def lint_paths(paths: Iterable[str], config: Optional[LintConfig] = None,
+               project_rules: bool = True) -> List[Violation]:
+    """Lint every Python file under ``paths``, then run the project
+    rules over the accumulated call-site inventory."""
+    ctx = LintContext(config)
+    violations: List[Violation] = []
+    for path in iter_python_files(paths):
+        with open(path, encoding="utf-8") as fh:
+            source = fh.read()
+        violations.extend(lint_source(source, _display_path(path), ctx))
+    if project_rules:
+        for rule in PROJECT_RULES:
+            violations.extend(rule(ctx))
+    return sorted(violations)

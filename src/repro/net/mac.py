@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from typing import Callable, Deque, Iterable, Iterator, List, Optional, Tuple
+from typing import Deque, Iterable, Iterator, List, Optional, Tuple
 
 from repro.engine import Delay, Simulator, StatSet
 from repro.faults.injector import NULL_INJECTOR, RX_DROP, RX_DUPLICATE

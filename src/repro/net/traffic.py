@@ -12,9 +12,8 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.net.addresses import IPv4Address
 from repro.net.ip import record_route_option
 from repro.net.packet import Packet, make_tcp_packet, make_udp_like_packet
 from repro.net.tcp import TCP_ACK, TCP_SYN

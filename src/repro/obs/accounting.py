@@ -6,7 +6,12 @@ however, are fully inlined for speed and charge ``me.busy_cycles``
 directly -- the sampler turns those aggregate counters into the busy
 *time series* the bottleneck analyses need, without touching the hot
 path: it is only spawned when observability is enabled.
+
+The samplers below call recorder hooks without per-call ``.enabled``
+guards because the whole process is gated at spawn time -- a disabled
+run never creates it, so the guard would be dead code on a warm path.
 """
+# repro-lint: file-disable=RPR202  (process-level gating, see docstring)
 
 from __future__ import annotations
 

@@ -25,29 +25,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+# LIFECYCLE_EVENTS / DROP_EVENTS are re-exported for the analysis
+# modules that historically imported them from here; the canonical
+# definitions (and the lint rules that enforce them) live in
+# repro.obs.events.
+from repro.obs.events import DROP_EVENTS, LIFECYCLE_EVENTS  # noqa: F401
 from repro.obs.recorder import Recorder, TraceEvent
 
 #: Simulation clock: 200 MHz (the IXP1200 core clock), for cycle -> us.
 CLOCK_HZ = 200e6
-
-#: Lifecycle events that mark a packet's progress through the hierarchy,
-#: in pipeline order (docs/observability.md has the emitting sites).
-LIFECYCLE_EVENTS = (
-    "mac_in",
-    "classify",
-    "to_sa",
-    "sa_dispatch",
-    "to_pentium",
-    "pentium_in",
-    "pentium_done",
-    "requeue",
-    "enqueue",
-    "dequeue",
-    "mac_out",
-)
-
-#: Terminal events: the packet died here.
-DROP_EVENTS = ("drop", "sa_drop", "requeue_drop")
 
 _LIFECYCLE_SET = frozenset(LIFECYCLE_EVENTS)
 _DROP_SET = frozenset(DROP_EVENTS)

@@ -19,7 +19,7 @@ event stream is bit-identical across runs and across schedulers --
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, NamedTuple, Optional, Tuple
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple
 
 
 class TraceEvent(NamedTuple):
@@ -97,6 +97,33 @@ class NullRecorder:
 
     def packet_id(self, packet: Any) -> Optional[int]:
         return None
+
+    # Query surface: empty answers, so tooling that reads whichever
+    # recorder a run ended up with (``repro.obs.profile``) never has to
+    # special-case the disabled path.  ``repro lint`` rule RPR201 keeps
+    # this list in sync with :class:`Recorder`.
+
+    def packet_timeline(self, packet_id: int) -> List["TraceEvent"]:
+        return []
+
+    def stage_summary(self) -> Dict[Tuple[str, str], int]:
+        return {}
+
+    def utilization(self, window_cycles: int) -> Dict[str, Dict[str, float]]:
+        return {}
+
+    def queue_depth_stats(self) -> Dict[int, Dict[str, float]]:
+        return {}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "events": [],
+            "events_dropped": 0,
+            "dropped_events": 0,
+            "accounting": {},
+            "queue_series": {},
+            "timeseries": {},
+        }
 
 
 #: Module-level singleton shared by every component's default hook slot.

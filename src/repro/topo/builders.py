@@ -13,7 +13,7 @@ with hosts already attached, so callers (tests, scenarios, examples) do::
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Union
 
 from repro.topo.network import Topology
 

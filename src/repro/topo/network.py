@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.control.integration import ControlPlaneBinding, make_lsa_packet
 from repro.control.linkstate import LinkStateNode

@@ -5,7 +5,7 @@ import pytest
 
 from repro import Router
 from repro.control import LinkStateAd, LinkStateNode
-from repro.control.integration import ALL_ROUTERS_ADDR, ControlPlaneBinding, make_lsa_packet
+from repro.control.integration import ControlPlaneBinding, make_lsa_packet
 from repro.net import IPv4Address
 from repro.net.traffic import flow_stream, take
 

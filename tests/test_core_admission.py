@@ -5,11 +5,11 @@ import pytest
 from repro.core.admission import AdmissionControl, AdmissionError, PentiumCapacity, StrongARMCapacity
 from repro.core.classifier import FlowTable
 from repro.core.forwarder import ALL, ForwarderSpec, Where
-from repro.core.forwarders import minimal_ip, syn_monitor, table5_specs, tcp_splicer
+from repro.core.forwarders import minimal_ip, syn_monitor, tcp_splicer
 from repro.core.vrp import RegOps, SramRead, VRPBudget, VRPProgram
 from repro.ixp.istore import InstructionStore
-from repro.net.packet import FlowKey
 from repro.net.addresses import IPv4Address
+from repro.net.packet import FlowKey
 
 
 def flow_key(i=1):

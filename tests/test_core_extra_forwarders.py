@@ -3,7 +3,7 @@ tagging and token-bucket rate limiting."""
 
 import pytest
 
-from repro import ALL, Router
+from repro import Router
 from repro.core.forwarders import packet_tagger, rate_limiter
 from repro.core.vrp import PROTOTYPE_BUDGET
 from repro.net.addresses import IPv4Address

@@ -3,6 +3,7 @@ behaviour."""
 
 import pytest
 
+from repro.core.forwarder import Where
 from repro.core.forwarders import (
     TABLE5_EXPECTED,
     ack_monitor,
@@ -15,7 +16,6 @@ from repro.core.forwarders import (
     tcp_splicer,
     wavelet_dropper,
 )
-from repro.core.forwarder import Where
 from repro.core.vrp import PROTOTYPE_BUDGET
 from repro.net.ip import record_route_option
 from repro.net.packet import make_tcp_packet, make_udp_like_packet

@@ -3,9 +3,7 @@
 import pytest
 
 from repro.core.resource_model import (
-    INPUT_CONTEXT_PPS,
     MAX_INPUT_CONTEXTS,
-    Partition,
     evaluation_board_partition,
     plan,
 )

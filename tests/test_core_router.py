@@ -6,7 +6,6 @@ import pytest
 
 from repro import ALL, Router, RouterConfig, Where
 from repro.core.forwarders import (
-    ack_monitor,
     port_filter,
     syn_monitor,
     tcp_proxy,
@@ -15,7 +14,6 @@ from repro.core.forwarders import (
 )
 from repro.net.ip import record_route_option
 from repro.net.packet import FlowKey, make_tcp_packet, make_udp_like_packet
-from repro.net.tcp import TCP_ACK, TCP_SYN
 from repro.net.traffic import flow_stream, syn_flood, take, uniform_flood
 
 
@@ -224,7 +222,6 @@ def test_bad_checksum_dropped_by_classifier():
     bad.ip.checksum ^= 0x0F0F
 
     # Deliver via raw port injection so the corrupt checksum survives.
-    from repro.net.mp import segment_packet
 
     router.inject(9, iter(good))
     router.run(500_000)

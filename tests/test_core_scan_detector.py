@@ -1,6 +1,5 @@
 """Tests for the intrusion-detection service pair (section 4.4)."""
 
-import pytest
 
 from repro import ALL, Router
 from repro.core.forwarders.scan_detector import PORT_BUCKETS, ScanResponder, make_spec

@@ -5,11 +5,11 @@ cluster (section 6)."""
 import pytest
 
 from repro.core.cluster import RouterCluster, cluster_vrp_budget, member_mac
+from repro.core.router import Router, RouterConfig
 from repro.core.vrp import PROTOTYPE_BUDGET
 from repro.core.wfq import InputSideWFQ, wfq_vrp_program
-from repro.core.router import Router, RouterConfig
 from repro.hosts.scheduling import StrideScheduler
-from repro.net.traffic import flow_stream, round_robin_merge, take
+from repro.net.traffic import flow_stream, take
 
 
 # -- InputSideWFQ -----------------------------------------------------------------

@@ -1,11 +1,10 @@
 """Edge-case coverage across modules: configuration variants, boundary
 conditions, and less-traveled code paths."""
 
-import pytest
 
 from repro import Router, RouterConfig
 from repro.ixp import ChipConfig, IXP1200, InputDiscipline, OutputDiscipline
-from repro.net.traffic import flow_stream, take, uniform_flood
+from repro.net.traffic import flow_stream, take
 
 
 # -- chip configuration variants --------------------------------------------------

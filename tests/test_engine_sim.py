@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.engine import Delay, Interrupt, Resource, SimulationError, Simulator
+from repro.engine import Delay, Interrupt, SimulationError, Simulator
 
 
 def test_clock_starts_at_zero():

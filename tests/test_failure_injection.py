@@ -10,9 +10,9 @@ radius stays contained.
 import pytest
 
 from repro import ALL, Router, RouterConfig
-from repro.core.forwarders import port_filter, syn_monitor
+from repro.core.forwarders import port_filter
 from repro.net.packet import make_tcp_packet
-from repro.net.traffic import flow_stream, single_port_flood, take, uniform_flood
+from repro.net.traffic import flow_stream, single_port_flood, take
 
 
 def booted(**kwargs):
@@ -88,7 +88,6 @@ def test_buffer_overwrite_loses_only_stale_packets():
     """Shrink the buffer pool so the circular allocator laps itself while
     an egress port is congested: stale packets are lost (counted), and
     the router keeps running."""
-    from repro.ixp.params import IXPParams
 
     router = booted(queue_capacity=256)
     # Replace the pool with a tiny one to force reuse.

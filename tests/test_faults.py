@@ -18,8 +18,6 @@ from repro.core.router import Router, RouterConfig
 from repro.core.vrp import RegOps, SramRead, VRPProgram
 from repro.faults import (
     NULL_INJECTOR,
-    RX_DROP,
-    RX_DUPLICATE,
     RX_OK,
     FaultInjector,
 )

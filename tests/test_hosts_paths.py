@@ -5,7 +5,7 @@ import pytest
 
 from repro.hosts.baseline import PurePCRouter
 from repro.hosts.harness import measure_pentium_path, measure_strongarm_path
-from repro.hosts.strongarm import LocalForwarder, SAParams, StrongARM
+from repro.hosts.strongarm import StrongARM
 from repro.ixp.chip import ChipConfig, IXP1200
 from repro.net.traffic import take, uniform_flood
 

@@ -6,7 +6,7 @@ import pytest
 
 from repro.ixp import ChipConfig, IXP1200, InputDiscipline, OutputDiscipline
 from repro.ixp.programs import TimedVRP
-from repro.net.mac import MACPort, PortSpeed, make_board_ports
+from repro.net.mac import make_board_ports
 from repro.net.traffic import standard_table, take, uniform_flood
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.ixp.params import DEFAULT_PARAMS, CostModel, IXPParams
+from repro.ixp.params import DEFAULT_PARAMS, CostModel
 
 
 def test_input_register_total_is_table2_171():

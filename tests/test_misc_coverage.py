@@ -1,11 +1,10 @@
 """Coverage for remaining branches: switch flooding, lazy body fetch,
 MAC transmit pacing, and spare-cycle accounting."""
 
-import pytest
 
 from repro.engine import Simulator
 from repro.hosts.pci import I2OMessage, I2OQueuePair, PCIBus
-from repro.hosts.pentium import PentiumHost, PentiumParams
+from repro.hosts.pentium import PentiumHost
 from repro.net.mac import MACPort, PortSpeed
 from repro.net.mp import segment_packet
 from repro.net.packet import make_tcp_packet

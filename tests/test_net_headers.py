@@ -3,7 +3,6 @@
 import pytest
 
 from repro.net import (
-    ETHERTYPE_IPV4,
     EthernetHeader,
     IPv4Address,
     IPv4Header,

@@ -12,7 +12,6 @@ import json
 import pytest
 
 from repro.obs.analysis import (
-    PacketJourney,
     build_journeys,
     latency_report,
     percentile,

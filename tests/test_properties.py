@@ -6,11 +6,10 @@ ordering, queue conservation, the stride scheduler's fairness bounds,
 packet codec roundtrips, the VRP cost algebra, and the ISTORE layout.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.engine import Delay, Simulator
 from repro.core.vrp import HashOp, RegOps, SramRead, SramWrite, VRPProgram
+from repro.engine import Delay, Simulator
 from repro.hosts.scheduling import StrideScheduler
 from repro.ixp.istore import InstructionStore, IStoreError
 from repro.ixp.queues import PacketQueue
