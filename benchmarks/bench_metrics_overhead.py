@@ -1,0 +1,88 @@
+"""Metrics-sampler overhead: the disabled path must cost nothing.
+
+The time-series sampler lives under the same discipline as the recorder
+and the fault injector:
+
+1. A topology run with metrics left at the default (the null sampler)
+   is *the* uninstrumented run -- no sampler process exists, hook sites
+   pay one attribute check, and two same-seed runs are bit-identical.
+2. An enabled sampler observes, never perturbs: packet outcomes
+   (delivered / drops / incident log) match the uninstrumented run
+   exactly, even though the sampler process adds its own events to the
+   schedule.
+
+Wall-clock overhead is reported for the trajectory record; only the
+identity properties are hard assertions (timing is machine-noise).
+"""
+
+import time
+
+from conftest import report, run_once
+
+from repro.topo.scenarios import run_topo
+
+SEED = 7
+WINDOW = 80_000
+
+
+def _run(instrument=None):
+    t0 = time.perf_counter()
+    result = run_topo("link-failure", seed=SEED, window=WINDOW,
+                      instrument=instrument)[0]
+    wall = time.perf_counter() - t0
+    return result, wall
+
+
+def test_disabled_sampler_run_is_bit_identical(benchmark):
+    """No-obs vs no-obs: the null-sampler default adds nothing, so two
+    bare same-seed runs emit byte-identical incident logs and identical
+    simulator event counts."""
+
+    def run_both():
+        first, wall_a = _run()
+        second, wall_b = _run()
+        return first, second, min(wall_a, wall_b)
+
+    first, second, wall = run_once(benchmark, run_both)
+    assert first.topo.metrics.enabled is False
+    assert first.incident_log_json() == second.incident_log_json()
+    assert first.topo.sim._events_processed == second.topo.sim._events_processed
+    report(
+        benchmark,
+        "Metrics overhead: the disabled path",
+        [
+            ("events (null sampler)", None, first.topo.sim._events_processed),
+            ("delivered", None, first.accounting["delivered"]),
+            ("disabled wall s", None, round(wall, 4)),
+        ],
+        header=("path", "paper", "measured"),
+    )
+
+
+def test_enabled_sampler_observes_without_perturbing(benchmark):
+    """Metrics on vs metrics off: the sampler process runs (more events
+    on the schedule) but every packet outcome is unchanged."""
+
+    def run_both():
+        bare, bare_wall = _run()
+        metered, metered_wall = _run(
+            instrument=lambda topo: topo.enable_metrics())
+        return bare, metered, bare_wall, metered_wall
+
+    bare, metered, bare_wall, metered_wall = run_once(benchmark, run_both)
+    assert metered.topo.metrics.enabled is True
+    assert metered.topo.metrics.samples > 0
+    assert metered.accounting == bare.accounting
+    assert metered.incident_log_json() == bare.incident_log_json()
+    report(
+        benchmark,
+        "Metrics overhead: enabled sampler (observer-effect gate)",
+        [
+            ("delivered (bare)", None, bare.accounting["delivered"]),
+            ("delivered (metered)", None, metered.accounting["delivered"]),
+            ("metric samples", None, metered.topo.metrics.samples),
+            ("bare wall s", None, round(bare_wall, 4)),
+            ("metered wall s", None, round(metered_wall, 4)),
+        ],
+        header=("path", "paper", "measured"),
+    )

@@ -227,7 +227,10 @@ def cmd_topo(args) -> int:
         if not args.json:
             print(f"incident log written to {args.incidents_out}")
     if not args.no_bench:
-        path = record_benchmark("topo_scenarios", bench_rows(results))
+        path = record_benchmark(
+            "topo_scenarios", bench_rows(results), seed=args.seed,
+            config={"scenario": args.scenario, "window": args.window,
+                    "warmup": args.warmup})
         if not args.json:
             print(f"bench trajectory written to {path}")
     if not args.json:
@@ -237,6 +240,45 @@ def cmd_topo(args) -> int:
         else:
             print(f"all invariants held across {len(results)} scenario(s)")
     return max((r.exit_code() for r in results), default=0)
+
+
+def cmd_netview(args) -> int:
+    from repro.obs import export
+    from repro.obs.bench_record import record_benchmark
+    from repro.topo.netview import bench_rows, run_netview
+
+    views = run_netview(args.scenario, seed=args.seed, window=args.window,
+                        warmup=args.warmup, top=args.top)
+    if args.json:
+        print(export.dumps([export.sanitize(v.artifact()) for v in views],
+                           indent=2, sort_keys=True))
+    else:
+        for view in views:
+            for line in view.table():
+                print(line)
+            print()
+    if args.chrome or args.chrome_out:
+        for view in views:
+            out = args.chrome_out or f"netview-{view.scenario}.chrome.json"
+            with open(out, "w") as fh:
+                fh.write(export.dumps(view.chrome(), sort_keys=True))
+                fh.write("\n")
+            if not args.json:
+                print(f"merged chrome trace written to {out}")
+    if not args.no_bench:
+        path = record_benchmark(
+            "netview", bench_rows(views), seed=args.seed,
+            config={"scenario": args.scenario, "window": args.window,
+                    "warmup": args.warmup})
+        if not args.json:
+            print(f"bench trajectory written to {path}")
+    if not args.json:
+        failed = [v.scenario for v in views if not v.ok]
+        if failed:
+            print(f"NETVIEW GATE FAILED in: {', '.join(failed)}")
+        else:
+            print(f"netview gate held across {len(views)} scenario(s)")
+    return max((v.exit_code() for v in views), default=0)
 
 
 def cmd_workloads(args) -> int:
@@ -312,6 +354,7 @@ COMMANDS: Dict[str, Callable] = {
     "monitor": cmd_monitor,
     "faults": cmd_faults,
     "topo": cmd_topo,
+    "netview": cmd_netview,
     "workloads": cmd_workloads,
     "lint": cmd_lint,
 }
@@ -411,6 +454,35 @@ def main(argv=None) -> int:
                              help="write the canonical incident log to this path")
     topo_parser.add_argument("--no-bench", action="store_true",
                              help="skip writing BENCH_topo_scenarios.json")
+    netview_parser = sub.add_parser(
+        "netview", help="rerun a topo scenario with network-wide tracing "
+        "+ time-series metrics and render the network health report; "
+        "exits non-zero when the scenario or observability gate breaks"
+    )
+    netview_parser.add_argument(
+        "scenario",
+        choices=("link-failure", "route-churn", "congestion-collapse", "all"),
+        help="which network scenario to observe (or all of them)")
+    netview_parser.add_argument("--seed", type=int, default=0,
+                                help="topology seed (default 0); the report, "
+                                "JSON artifact and chrome trace are "
+                                "byte-identical per seed")
+    netview_parser.add_argument("--window", type=int, default=240_000,
+                                help="measurement window in cycles (default 240000)")
+    netview_parser.add_argument("--warmup", type=int, default=20_000,
+                                help="post-convergence warmup cycles (default 20000)")
+    netview_parser.add_argument("--top", type=int, default=5,
+                                help="top-N congested links / slowest flows "
+                                "(default 5)")
+    netview_parser.add_argument("--json", action="store_true",
+                                help="print every scenario's netview artifact as JSON")
+    netview_parser.add_argument("--chrome", action="store_true",
+                                help="write the merged multi-process Chrome "
+                                "trace (netview-<scenario>.chrome.json)")
+    netview_parser.add_argument("--chrome-out", default=None,
+                                help="chrome trace output path (single scenario)")
+    netview_parser.add_argument("--no-bench", action="store_true",
+                                help="skip writing BENCH_netview.json")
     workloads_parser = sub.add_parser(
         "workloads", help="build BGP-shaped tables, replay internet-shaped "
         "probe streams and verify lookup invariants; exits non-zero when "
@@ -471,6 +543,8 @@ def main(argv=None) -> int:
         print("topo scenarios (python -m repro topo <name> --seed N):")
         for name in [*TOPO_SCENARIOS, "all"]:
             print(f"  {name}")
+        print("netview (python -m repro netview <name> --seed N): the same "
+              "scenarios with network-wide tracing + time-series metrics")
         from repro.net.routing import LOOKUP_BACKENDS
 
         print("lookup backends (python -m repro workloads --backend <name>):")

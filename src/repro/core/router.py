@@ -185,6 +185,14 @@ class Router:
                                          slack_cycles=slack_cycles)
         return self._vrp_watchdog
 
+    def quarantined_flows(self) -> int:
+        """How many forwarders the VRP watchdog currently holds in
+        quarantine (0 when no watchdog is attached) -- the fault/recovery
+        gauge sampled by :func:`repro.obs.metrics.fault_probe`."""
+        if self._vrp_watchdog is None:
+            return 0
+        return len(self._vrp_watchdog.quarantined)
+
     def health_monitor(self, period: Optional[int] = None, rules=None):
         """Attach the health watchdog (see :mod:`repro.obs.monitor`) to
         this router, enabling observability first if needed.  With a

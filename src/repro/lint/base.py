@@ -48,6 +48,8 @@ RULES: Dict[str, str] = {
     "RPR302": "unregistered component literal passed to record(...)",
     "RPR303": "hardcoded stage list duplicating the repro.obs.events registry",
     "RPR304": "monitor rule name not registered in repro.obs.events",
+    "RPR305": "metric series name passed to sample(...) not registered in "
+              "repro.obs.events (METRIC_SERIES / METRIC_PATTERNS)",
 }
 
 
@@ -74,13 +76,16 @@ class LintConfig:
     instance drives ``python -m repro lint``; tests construct their own
     to point the rules at fixture classes."""
 
-    #: Bare names that hold a recorder / injector at hook sites.
+    #: Bare names that hold a recorder / injector / metrics sampler at
+    #: hook sites.
     recorder_names = frozenset({"rec", "recorder"})
     injector_names = frozenset({"inj", "injector"})
-    #: Attribute names whose access yields a recorder / injector
-    #: (``self.recorder``, ``sim.recorder``, ``router.injector``, ...).
+    sampler_names = frozenset({"sampler", "metrics"})
+    #: Attribute names whose access yields a recorder / injector /
+    #: sampler (``self.recorder``, ``router.injector``, ``topo.metrics``).
     recorder_attrs = frozenset({"recorder"})
     injector_attrs = frozenset({"injector"})
+    sampler_attrs = frozenset({"metrics"})
 
     #: Hot-path hook methods that MUST sit behind an ``.enabled`` guard.
     #: Query methods (``utilization``, ``to_dict``, ...) are exempt: the
@@ -89,6 +94,7 @@ class LintConfig:
         "record", "account", "sample_queue", "sample_series", "packet_id",
     })
     injector_hooks = frozenset({"on_rx", "on_i2o_send"})
+    sampler_hooks = frozenset({"sample"})
 
     #: Path suffixes exempt from the wall-clock rule (RPR102): the CLI
     #: and bench layer measure real elapsed time on purpose.
@@ -102,7 +108,11 @@ class LintConfig:
     registry_exempt = ("repro/obs/events.py",)
 
     def hooks_for(self, kind: str) -> frozenset:
-        return self.recorder_hooks if kind == "recorder" else self.injector_hooks
+        if kind == "recorder":
+            return self.recorder_hooks
+        if kind == "sampler":
+            return self.sampler_hooks
+        return self.injector_hooks
 
 
 DEFAULT_CONFIG = LintConfig()
@@ -117,7 +127,7 @@ class LintContext:
         #: by the parity file-pass, consumed by the project-level
         #: null-object parity check.
         self.invoked: Dict[str, Dict[str, Tuple[str, int]]] = {
-            "recorder": {}, "injector": {},
+            "recorder": {}, "injector": {}, "sampler": {},
         }
 
     def note_invocation(self, kind: str, method: str, path: str, line: int) -> None:
@@ -205,18 +215,22 @@ def dotted_name(node: ast.AST) -> Optional[str]:
 
 def receiver_kind(node: ast.AST, config: LintConfig) -> Optional[str]:
     """Classify the object a method is being called on: ``"recorder"``,
-    ``"injector"``, or None.  ``self.<hook>()`` calls (the classes'
-    own internals) are deliberately not classified."""
+    ``"injector"``, ``"sampler"``, or None.  ``self.<hook>()`` calls
+    (the classes' own internals) are deliberately not classified."""
     if isinstance(node, ast.Name):
         if node.id in config.recorder_names:
             return "recorder"
         if node.id in config.injector_names:
             return "injector"
+        if node.id in config.sampler_names:
+            return "sampler"
     elif isinstance(node, ast.Attribute):
         if node.attr in config.recorder_attrs:
             return "recorder"
         if node.attr in config.injector_attrs:
             return "injector"
+        if node.attr in config.sampler_attrs:
+            return "sampler"
     return None
 
 

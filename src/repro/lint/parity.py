@@ -308,6 +308,7 @@ def check_null_parity(real_cls, null_cls,
 @project_rule
 def check_project_parity(ctx: LintContext) -> Iterable[Violation]:
     from repro.faults.injector import FaultInjector, NullInjector
+    from repro.obs.metrics import MetricsSampler, NullSampler
     from repro.obs.recorder import NullRecorder, Recorder
 
     out: List[Violation] = []
@@ -315,4 +316,6 @@ def check_project_parity(ctx: LintContext) -> Iterable[Violation]:
                                  ctx.invoked["recorder"]))
     out.extend(check_null_parity(FaultInjector, NullInjector,
                                  ctx.invoked["injector"]))
+    out.extend(check_null_parity(MetricsSampler, NullSampler,
+                                 ctx.invoked["sampler"]))
     return out

@@ -35,6 +35,26 @@ def _literal_values(node: ast.AST) -> List[ast.Constant]:
     return []
 
 
+def _fstring_template(node: ast.AST) -> Optional[str]:
+    """A checkable template for an f-string series name: formatted
+    values collapse to a one-character placeholder (``x``), so
+    ``f"link.{link.name}.occupancy"`` becomes ``link.x.occupancy`` --
+    which either matches a registered family pattern or does not.
+    Returns None for non-f-string shapes (left to :func:`_literal_values`)
+    or templates whose placeholder could span a ``.`` boundary."""
+    if not isinstance(node, ast.JoinedStr):
+        return None
+    parts: List[str] = []
+    for piece in node.values:
+        if isinstance(piece, ast.Constant) and isinstance(piece.value, str):
+            parts.append(piece.value)
+        elif isinstance(piece, ast.FormattedValue):
+            parts.append("x")
+        else:
+            return None
+    return "".join(parts)
+
+
 def _record_arg(call: ast.Call, index: int, name: str) -> Optional[ast.AST]:
     """The ``record`` argument at positional ``index`` / keyword
     ``name`` (signature: record(cycle, component, event, packet_id,
@@ -80,6 +100,32 @@ def check_trace_names(tree: ast.AST, source: str, path: str,
                             "repro.obs.events (names or patterns); register "
                             "it or fix the name",
                         ))
+
+        # -- RPR305: sample(...) metric series names ---------------------------
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in ctx.config.sampler_hooks \
+                and receiver_kind(node.func.value, ctx.config) == "sampler":
+            name_arg = _record_arg(node, 0, "name")
+            if name_arg is not None:
+                for const in _literal_values(name_arg):
+                    if not registry.is_metric_series(const.value):
+                        out.append(Violation(
+                            path, const.lineno, const.col_offset, "RPR305",
+                            f"metric series {const.value!r} is not registered "
+                            "in repro.obs.events (METRIC_SERIES / "
+                            "METRIC_PATTERNS); register the family or fix "
+                            "the name",
+                        ))
+                template = _fstring_template(name_arg)
+                if template is not None \
+                        and not registry.is_metric_series(template):
+                    out.append(Violation(
+                        path, name_arg.lineno, name_arg.col_offset, "RPR305",
+                        f"metric series template {template!r} resolves "
+                        "against no registered family in repro.obs.events "
+                        "(METRIC_PATTERNS); register the family or fix the "
+                        "name",
+                    ))
 
         # -- RPR303: hardcoded stage lists -------------------------------------
         if isinstance(node, (ast.List, ast.Tuple, ast.Set)) \

@@ -50,11 +50,13 @@ __all__ = [
     "accounting",
     "analysis",
     "bench_record",
+    "metrics",
     "monitor",
     "profile",
 ]
 
-_LAZY_SUBMODULES = ("accounting", "analysis", "bench_record", "monitor", "profile")
+_LAZY_SUBMODULES = ("accounting", "analysis", "bench_record", "metrics",
+                    "monitor", "profile")
 
 
 def __getattr__(name: str):

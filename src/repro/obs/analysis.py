@@ -319,6 +319,45 @@ def _us(cycle: int, clock_hz: float) -> float:
     return round(cycle * 1e6 / clock_hz, 3)
 
 
+def chrome_process_events(
+    events: Iterable[TraceEvent],
+    pid: int,
+    process_name: str,
+    clock_hz: float = CLOCK_HZ,
+) -> List[Dict[str, Any]]:
+    """One Chrome-trace *process* worth of events for one recorder's
+    trace: a process metadata record, one thread per component (named on
+    first sight), and an instant event per recorded span.  This is the
+    per-router building block the merged network export
+    (:func:`repro.topo.tracing.merged_chrome_trace`) stacks into a
+    multi-process document."""
+    out: List[Dict[str, Any]] = [
+        {
+            "ph": "M", "pid": pid, "name": "process_name",
+            "args": {"name": process_name},
+        }
+    ]
+    tids: Dict[str, int] = {}
+    for e in events:
+        tid = tids.get(e.component)
+        if tid is None:
+            tid = tids[e.component] = len(tids)
+            out.append({
+                "ph": "M", "pid": pid, "tid": tid,
+                "name": "thread_name", "args": {"name": e.component},
+            })
+        args: Dict[str, Any] = {}
+        if e.packet_id is not None:
+            args["packet"] = e.packet_id
+        if e.detail is not None:
+            args["detail"] = str(e.detail)
+        out.append({
+            "ph": "i", "pid": pid, "tid": tid, "s": "t",
+            "ts": _us(e.cycle, clock_hz), "name": e.event, "args": args,
+        })
+    return out
+
+
 def to_chrome_trace(
     events: Iterable[TraceEvent],
     clock_hz: float = CLOCK_HZ,
@@ -334,30 +373,8 @@ def to_chrome_trace(
     track (enforced by ``tests/test_obs_analysis.py``).
     """
     events = list(events)
-    trace: List[Dict[str, Any]] = [
-        {
-            "ph": "M", "pid": _COMPONENT_PID, "name": "process_name",
-            "args": {"name": "components"},
-        }
-    ]
-    tids: Dict[str, int] = {}
-    for e in events:
-        tid = tids.get(e.component)
-        if tid is None:
-            tid = tids[e.component] = len(tids)
-            trace.append({
-                "ph": "M", "pid": _COMPONENT_PID, "tid": tid,
-                "name": "thread_name", "args": {"name": e.component},
-            })
-        args: Dict[str, Any] = {}
-        if e.packet_id is not None:
-            args["packet"] = e.packet_id
-        if e.detail is not None:
-            args["detail"] = str(e.detail)
-        trace.append({
-            "ph": "i", "pid": _COMPONENT_PID, "tid": tid, "s": "t",
-            "ts": _us(e.cycle, clock_hz), "name": e.event, "args": args,
-        })
+    trace: List[Dict[str, Any]] = chrome_process_events(
+        events, _COMPONENT_PID, "components", clock_hz)
 
     if include_packet_tracks:
         trace.append({

@@ -6,13 +6,14 @@ into pytest-benchmark's ``extra_info``.  This module serializes those
 rows, plus wall time, into one JSON file per bench module at the repo
 root -- the perf baseline future PRs diff against.
 
-Schema (``repro-bench-trajectory-v1``)::
+Schema (``repro-bench-trajectory-v2``)::
 
     {
-      "schema": "repro-bench-trajectory-v1",
+      "schema": "repro-bench-trajectory-v2",
       "bench": "bench_engine_kernel",
       "wall_time_s": 12.8,
-      "rows": {"events/s": {"paper": null, "measured": 2.1e6}, ...},
+      "rows": {"events/s": {"paper": null, "measured": 2.1e6,
+                            "seed": 7, "config": {"window": 120000}}, ...},
       "tests": {
         "test_kernel_throughput": {
           "wall_time_s": 3.1,
@@ -23,6 +24,13 @@ Schema (``repro-bench-trajectory-v1``)::
 
 ``rows`` at the top level is the union across the module's tests (later
 tests win on key collisions, mirroring how the printed tables stack).
+
+v2 adds per-row attribution: when the producer passes ``seed`` /
+``config`` to :func:`record_benchmark`, every row is stamped with them,
+so a perf-history diff can tell a real regression from a changed
+workload.  Rows without attribution (pytest-benchmark modules) stay
+legal, and :func:`load_benchmark` still accepts v1 files -- committed
+baselines never have to be rewritten to stay readable.
 """
 
 from __future__ import annotations
@@ -33,7 +41,11 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.obs import export
 
-SCHEMA = "repro-bench-trajectory-v1"
+SCHEMA = "repro-bench-trajectory-v2"
+
+#: Schemas load_benchmark accepts: the current one plus every ancestor
+#: a committed baseline may still carry.
+ACCEPTED_SCHEMAS = (SCHEMA, "repro-bench-trajectory-v1")
 
 #: Environment override for where BENCH_*.json land (tests point this at
 #: a tmp dir; CI leaves it unset so files land at the repo root).
@@ -47,22 +59,47 @@ def bench_path(bench_name: str, root: Optional[str] = None) -> str:
     return os.path.join(root, f"BENCH_{bench_name}.json")
 
 
+def _stamp_rows(rows: Dict[str, Dict[str, Any]], seed: Optional[int],
+                config: Optional[Dict[str, Any]]) -> Dict[str, Dict[str, Any]]:
+    """Copy ``rows`` with seed/config attribution merged into each row
+    (row-local values win, so a caller can override per metric)."""
+    extra: Dict[str, Any] = {}
+    if seed is not None:
+        extra["seed"] = seed
+    if config is not None:
+        extra["config"] = config
+    if not extra:
+        return rows
+    return {metric: {**extra, **row} for metric, row in rows.items()}
+
+
 def record_benchmark(
     bench_name: str,
     rows: Dict[str, Dict[str, Any]],
     tests: Optional[Dict[str, Dict[str, Any]]] = None,
     wall_time_s: Optional[float] = None,
     root: Optional[str] = None,
+    seed: Optional[int] = None,
+    config: Optional[Dict[str, Any]] = None,
 ) -> str:
     """Write one bench module's trajectory file; returns its path.
 
     ``rows`` maps metric name -> ``{"paper": ..., "measured": ...}``;
     ``tests`` optionally maps test name -> ``{"wall_time_s", "rows"}``.
+    ``seed`` / ``config`` (v2) stamp every row -- including each test's
+    rows -- with the workload that produced it.
     """
     if wall_time_s is None and tests:
         wall_time_s = sum(
             t.get("wall_time_s") or 0.0 for t in tests.values()
         )
+    rows = _stamp_rows(rows, seed, config)
+    if tests:
+        tests = {
+            name: {**block,
+                   "rows": _stamp_rows(block.get("rows", {}), seed, config)}
+            for name, block in tests.items()
+        }
     doc = {
         "schema": SCHEMA,
         "bench": bench_name,
@@ -82,9 +119,10 @@ def load_benchmark(bench_name: str, root: Optional[str] = None) -> Dict[str, Any
     path = bench_path(bench_name, root)
     with open(path) as fh:
         doc = json.load(fh)
-    if doc.get("schema") != SCHEMA:
+    if doc.get("schema") not in ACCEPTED_SCHEMAS:
         raise ValueError(
-            f"{path}: schema {doc.get('schema')!r}, expected {SCHEMA!r}"
+            f"{path}: schema {doc.get('schema')!r}, expected one of "
+            f"{ACCEPTED_SCHEMAS!r}"
         )
     return doc
 

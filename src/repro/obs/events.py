@@ -6,9 +6,11 @@ single place where the trace vocabulary is defined, so the recorder,
 the analytics (:mod:`repro.obs.analysis`), the watchdog
 (:mod:`repro.obs.monitor`) and the docs cannot drift apart one rename
 at a time.  ``repro lint`` enforces the contract statically (rules
-RPR301-RPR304, see ``docs/static-analysis.md``): an event literal at a
+RPR301-RPR305, see ``docs/static-analysis.md``): an event literal at a
 ``record(...)`` call site that is not registered here fails the lint
-gate, as does a stage list hardcoded outside this module.
+gate, as does a stage list hardcoded outside this module or a metric
+series name at a ``sample(...)`` site that resolves against no
+registered family.
 
 Adding a new event is deliberate: register it here (in pipeline order
 for lifecycle events), emit it from the hook site, and document it in
@@ -87,6 +89,29 @@ MONITOR_RULES = frozenset((
 ))
 
 
+#: Fixed network-wide metric series (:mod:`repro.obs.metrics`): gauges
+#: the fault probe samples once per period over the whole topology.
+METRIC_SERIES = frozenset((
+    "net.links_down",
+    "net.incidents",
+    "net.reconvergences",
+    "net.quarantined",
+))
+
+#: Parameterized metric-series families: one series per link / router,
+#: the subject name sandwiched between the family prefix and the gauge
+#: suffix.  ``repro lint`` rule RPR305 resolves every literal (and every
+#: f-string template) passed to ``MetricsSampler.sample`` against these.
+METRIC_PATTERNS = (
+    r"link\.[^.]+\.(occupancy|carried|dropped|utilization|up)",
+    r"router\.[^.]+\.(queue_depth|route_cache_hit_rate|spf_runs|lsas)",
+)
+
+_METRIC_RE = re.compile(
+    "^(?:" + "|".join(METRIC_PATTERNS) + ")$"
+)
+
+
 def is_trace_event(name: str) -> bool:
     """True when ``name`` is a registered trace event."""
     return name in TRACE_EVENTS
@@ -96,6 +121,22 @@ def is_component(name: str) -> bool:
     """True when ``name`` is a registered component name or matches a
     registered component family pattern."""
     return name in COMPONENTS or _COMPONENT_RE.match(name) is not None
+
+
+def is_metric_series(name: str) -> bool:
+    """True when ``name`` is a registered metric series (fixed name or a
+    member of a registered family)."""
+    return name in METRIC_SERIES or _METRIC_RE.match(name) is not None
+
+
+def unregistered_metric_series(names: Iterable[str]) -> list:
+    """The subset of ``names`` that resolve against no registered metric
+    series or family, in input order (deduplicated)."""
+    out = []
+    for name in names:
+        if not is_metric_series(name) and name not in out:
+            out.append(name)
+    return out
 
 
 def unregistered_events(names: Iterable[str]) -> list:

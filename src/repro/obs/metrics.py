@@ -1,0 +1,266 @@
+"""Deterministic time-series metrics: the network's vital signs.
+
+The recorder (:mod:`repro.obs.recorder`) answers *per-packet* questions;
+this module answers *per-network* ones: how full is each link, how deep
+is each router's worst queue, how hot is the route cache, how much SPF /
+LSA churn is the control plane paying, how many faults are outstanding.
+A :class:`MetricsSampler` polls read-only probes at a fixed
+simulated-time cadence on the event clock -- never the wall clock -- so
+every series is byte-identical run after run for one seed.
+
+Two implementations share one duck-typed API, mirroring the recorder and
+the fault injector:
+
+* :class:`NullSampler` -- the default.  Nothing is sampled, nothing is
+  spawned, and the only cost a hook site may pay is one ``.enabled``
+  attribute check (``benchmarks/bench_metrics_overhead.py`` enforces
+  both the timing bound and that an instrumented run's packet outcomes
+  are bit-identical to an uninstrumented one).
+* :class:`MetricsSampler` -- the live implementation: bounded per-series
+  ring buffers keyed by canonical series names
+  (:data:`repro.obs.events.METRIC_PATTERNS`; ``repro lint`` rule RPR305
+  pins every sampled name to that registry).
+
+The probes themselves are plain functions over duck-typed topology
+objects (links, router nodes, injectors) so this module stays free of
+topology imports -- :class:`repro.topo.network.Topology` wires them up
+via ``enable_metrics()``.
+"""
+# repro-lint: file-disable=RPR202 -- sampler probes only run inside the
+# periodic process, which is never spawned on a disabled run (the same
+# process-level gating as repro/obs/accounting.py).
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.obs.recorder import RingBuffer
+
+#: Cycles between samples unless the caller chooses otherwise.
+DEFAULT_METRICS_PERIOD = 5_000
+
+
+class NullSampler:
+    """The disabled path: every method is a no-op, every query empty.
+
+    Kept in strict parity with :class:`MetricsSampler` by ``repro lint``
+    rule RPR201/RPR204 (the same machinery that polices NullRecorder and
+    NullInjector).
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def sample(self, name: str, cycle: int, value: float) -> None:
+        pass
+
+    def series(self, name: str) -> List[Tuple[int, float]]:
+        return []
+
+    def series_names(self) -> List[str]:
+        return []
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        return {}
+
+    def top_series(self, suffix: str, n: int = 5, key: str = "max") -> List[Tuple[str, float]]:
+        return []
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"period": None, "samples": 0, "series": {}}
+
+
+#: Module-level singleton shared by every default metrics slot.
+NULL_SAMPLER = NullSampler()
+
+
+class MetricsSampler:
+    """Bounded, deterministic named time series on the event clock.
+
+    ``sample`` appends ``(cycle, value)`` to a per-series ring buffer
+    (capacity bounds memory on long runs; evictions are counted, never
+    silent).  Queries summarize each series without any wall-clock or
+    hashing nondeterminism: names are reported sorted, values are pure
+    functions of the simulation.
+    """
+
+    enabled = True
+
+    def __init__(self, period: int = DEFAULT_METRICS_PERIOD,
+                 capacity: int = 4_096):
+        if period < 1:
+            raise ValueError(f"metrics period must be >= 1, got {period}")
+        self.period = period
+        self.capacity = capacity
+        self._series: Dict[str, RingBuffer] = {}
+        self.samples = 0
+
+    # -- hook --------------------------------------------------------------
+
+    def sample(self, name: str, cycle: int, value: float) -> None:
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = RingBuffer(self.capacity)
+        series.append((cycle, float(value)))
+        self.samples += 1
+
+    # -- queries -----------------------------------------------------------
+
+    def series(self, name: str) -> List[Tuple[int, float]]:
+        """The ``(cycle, value)`` samples recorded for ``name`` (oldest
+        surviving sample first)."""
+        series = self._series.get(name)
+        return series.to_list() if series is not None else []
+
+    def series_names(self) -> List[str]:
+        return sorted(self._series)
+
+    @property
+    def dropped_samples(self) -> int:
+        """Samples lost to per-series ring eviction (coverage honesty,
+        mirroring ``Recorder.dropped_events``)."""
+        return sum(s.dropped for s in self._series.values())
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-series ``{samples, mean, max, last}`` over the surviving
+        window, keyed by series name, sorted."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name in self.series_names():
+            values = [v for __, v in self._series[name]]
+            if not values:
+                continue
+            out[name] = {
+                "samples": float(len(values)),
+                "mean": sum(values) / len(values),
+                "max": float(max(values)),
+                "last": float(values[-1]),
+            }
+        return out
+
+    def top_series(self, suffix: str, n: int = 5, key: str = "max") -> List[Tuple[str, float]]:
+        """The ``n`` series ending in ``suffix`` with the largest summary
+        ``key`` -- e.g. ``top_series(".occupancy")`` names the most
+        congested links.  Ties break on the series name so the ranking
+        is deterministic."""
+        ranked = [(stats[key], name) for name, stats in self.summary().items()
+                  if name.endswith(suffix)]
+        ranked.sort(key=lambda pair: (-pair[0], pair[1]))
+        return [(name, value) for value, name in ranked[:n]]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "period": self.period,
+            "samples": self.samples,
+            "dropped_samples": self.dropped_samples,
+            "series": {name: self._series[name].to_list()
+                       for name in self.series_names()},
+        }
+
+
+# ---------------------------------------------------------------------------
+# Probes: read-only samplers over duck-typed topology objects.
+# ---------------------------------------------------------------------------
+#
+# Each probe factory captures its subject plus the previous counter
+# snapshot and returns a closure ``(sampler, cycle) -> None``.  Probes
+# must never mutate the simulation: the metrics-overhead bench asserts
+# an instrumented run's packet outcomes are bit-identical to a bare one.
+
+
+def link_probe(link):
+    """Per-link series: occupancy (frames in flight over the queue
+    limit), carried / dropped frame deltas, serialization utilization
+    (summed over both directions, so a full-duplex-busy link reads 2.0),
+    and the up/down state."""
+    last = {"carried": 0, "dropped": 0, "serialized": 0}
+    subject = link.name
+
+    def probe(sampler, cycle: int) -> None:
+        limit = max(1, link.queue_limit)
+        sampler.sample(f"link.{subject}.occupancy", cycle,
+                       link.in_flight / limit)
+        carried = link.counts["carried"]
+        dropped = sum(link.counts[k] for k in
+                      ("dropped_down", "dropped_loss", "dropped_overflow"))
+        serialized = getattr(link, "serialized_cycles", 0)
+        sampler.sample(f"link.{subject}.carried", cycle,
+                       carried - last["carried"])
+        sampler.sample(f"link.{subject}.dropped", cycle,
+                       dropped - last["dropped"])
+        sampler.sample(f"link.{subject}.utilization", cycle,
+                       (serialized - last["serialized"]) / sampler.period)
+        sampler.sample(f"link.{subject}.up", cycle, 1.0 if link.up else 0.0)
+        last["carried"], last["dropped"] = carried, dropped
+        last["serialized"] = serialized
+
+    return probe
+
+
+def router_probe(node):
+    """Per-router series: worst queue depth fraction, route-cache hit
+    rate over the period, and SPF / LSA churn deltas."""
+    cache = node.router.chip.route_cache
+    last = {"hits": 0, "misses": 0, "spf": 0, "lsas": 0}
+    subject = node.name
+
+    def probe(sampler, cycle: int) -> None:
+        sampler.sample(f"router.{subject}.queue_depth", cycle,
+                       node.router.chip.max_queue_depth_fraction())
+        hits, misses = cache.hits, cache.misses
+        looked_up = (hits - last["hits"]) + (misses - last["misses"])
+        rate = (hits - last["hits"]) / looked_up if looked_up else 0.0
+        sampler.sample(f"router.{subject}.route_cache_hit_rate", cycle, rate)
+        spf, lsas = node.node.spf_runs, node.node.lsas_processed
+        sampler.sample(f"router.{subject}.spf_runs", cycle, spf - last["spf"])
+        sampler.sample(f"router.{subject}.lsas", cycle, lsas - last["lsas"])
+        last.update(hits=hits, misses=misses, spf=spf, lsas=lsas)
+
+    return probe
+
+
+def fault_probe(topo):
+    """Network-wide fault/recovery state: links currently down, incident
+    log growth, reconvergence episodes completed, quarantined VRP flows."""
+    last = {"incidents": 0}
+
+    def probe(sampler, cycle: int) -> None:
+        sampler.sample("net.links_down", cycle,
+                       sum(1 for link in topo.links if not link.up))
+        incidents = len(topo.incidents)
+        sampler.sample("net.incidents", cycle, incidents - last["incidents"])
+        last["incidents"] = incidents
+        sampler.sample("net.reconvergences", cycle, len(topo.reconvergences))
+        sampler.sample("net.quarantined", cycle, sum(
+            node.router.quarantined_flows()
+            for node in topo.nodes.values()))
+
+    return probe
+
+
+def metrics_process(sim, sampler: MetricsSampler, probes) -> Generator:
+    """The periodic driver: run every probe each ``sampler.period``
+    cycles of *simulated* time.  Only ever spawned when metrics are
+    enabled, so a disabled run carries no extra events at all."""
+    from repro.engine import delay
+
+    d = delay(sampler.period)
+    while True:
+        yield d
+        now = sim.now
+        for probe in probes:
+            probe(sampler, now)
+
+
+def sampler_report(sampler, top_n: int = 5) -> Dict[str, Any]:
+    """JSON-ready health summary over whatever the sampler holds:
+    per-series summaries plus the top-N congested links (by peak
+    occupancy) and hottest routers (by peak queue depth)."""
+    return {
+        "series_summary": sampler.summary(),
+        "top_congested_links": [
+            {"series": name, "peak_occupancy": value}
+            for name, value in sampler.top_series(".occupancy", n=top_n)],
+        "top_loaded_routers": [
+            {"series": name, "peak_queue_depth": value}
+            for name, value in sampler.top_series(".queue_depth", n=top_n)],
+    }

@@ -37,6 +37,10 @@ from repro.net.ethernet import wire_bits
 from repro.net.ip import PROTO_ICMP
 from repro.net.packet import Packet, make_tcp_packet
 from repro.obs import export
+from repro.obs.metrics import (DEFAULT_METRICS_PERIOD, NULL_SAMPLER,
+                               MetricsSampler, fault_probe, link_probe,
+                               metrics_process, router_probe)
+from repro.topo.tracing import NULL_TRACER, NetTracer
 
 #: Cycle clock shared with the routers (200 MHz IXP1200 core clock).
 CLOCK_HZ = 200e6
@@ -59,8 +63,15 @@ def _scrub_copy(packet: Packet) -> Packet:
     """The copy of ``packet`` that crosses a link: fresh headers, meta
     reduced to end-to-end keys only."""
     dup = packet.copy()
-    dup.meta = {k: v for k, v in dup.meta.items()
-                if k in _META_KEEP or k.startswith(_META_KEEP_PREFIX)}
+    meta = {k: v for k, v in dup.meta.items()
+            if k in _META_KEEP or k.startswith(_META_KEEP_PREFIX)}
+    # The shared network trace id survives the crossing ONLY for packets
+    # the tracer tagged (topo_trace present): every node's recorder then
+    # files the packet under one global id, while untraced runs keep the
+    # per-node id assignment byte-identical to a tracer-less build.
+    if "topo_trace" in meta and "trace_id" in dup.meta:
+        meta["trace_id"] = dup.meta["trace_id"]
+    dup.meta = meta
     return dup
 
 
@@ -111,6 +122,9 @@ class InterRouterLink:
         self._ends: List[_End] = []
         self._busy_until = [0, 0]
         self._in_flight = [0, 0]
+        #: total cycles spent serializing frames (both directions): the
+        #: utilization numerator for repro.obs.metrics.link_probe.
+        self.serialized_cycles = 0
         self.counts: Dict[str, int] = {}
         for key in self._COUNT_KEYS:
             self.counts[key] = 0
@@ -141,31 +155,46 @@ class InterRouterLink:
         Returns False when the frame is dropped (down link, loss roll,
         or queue overflow)."""
         data = "topo_flow" in packet.meta
+        tracer = self.topo.tracer
         if not self.up:
             self._bump("dropped_down", data)
+            if tracer.enabled:
+                tracer.on_link_drop(self, packet, "down")
             return False
         if self.loss and self._rng.random() < self.loss:
             self._bump("dropped_loss", data)
+            if tracer.enabled:
+                tracer.on_link_drop(self, packet, "loss")
             return False
         direction = from_index
         if self._in_flight[direction] >= self.queue_limit:
             self._bump("dropped_overflow", data)
+            if tracer.enabled:
+                tracer.on_link_drop(self, packet, "overflow")
             return False
         now = self.sim.now
         start = max(now, self._busy_until[direction])
         done = start + self.serialization_cycles(len(frame))
         self._busy_until[direction] = done
         self._in_flight[direction] += 1
+        self.serialized_cycles += done - start
         dup = _scrub_copy(packet)
         dest = self._ends[1 - from_index]
+        if tracer.enabled:
+            tracer.on_link_enter(self, dup, wait=start - now,
+                                 serialization=done - start)
 
         def arrive() -> None:
             self._in_flight[direction] -= 1
             if not self.up:
                 # Went down while the frame was in flight.
                 self._bump("dropped_down", data)
+                if tracer.enabled:
+                    tracer.on_link_drop(self, dup, "down")
                 return
             self._bump("carried", data)
+            if tracer.enabled:
+                tracer.on_link_arrive(self, dup)
             dest.deliver(dup, frame)
 
         self.sim.schedule(max(1, done + self.latency - now), arrive)
@@ -235,6 +264,8 @@ class RouterNode:
             p.stats.counter("rx_dropped_packets").value for p in self.router.ports)
         snap["rx_fault_dropped"] = sum(
             p.stats.counter("rx_fault_dropped").value for p in self.router.ports)
+        snap["trace_dropped_events"] = (
+            self.recorder.dropped_events if self.recorder is not None else 0)
         return snap
 
     def __repr__(self) -> str:
@@ -269,8 +300,11 @@ class Host:
     # -- sink side -----------------------------------------------------------
 
     def receive(self, packet: Packet, frame: bytes) -> None:
+        tracer = self.topo.tracer
         if packet.ip.protocol == PROTO_ICMP:
             self.received_icmp += 1
+            if tracer.enabled:
+                tracer.on_host_icmp(self, packet)
             return
         if str(packet.ip.dst) != self.address:
             self.received_other += 1
@@ -286,6 +320,8 @@ class Host:
             latency = self.topo.sim.now - sent_at
             self.latency_sum += latency
             self.latency_max = max(self.latency_max, latency)
+        if tracer.enabled:
+            tracer.on_host_receive(self, packet)
 
     # -- source side ---------------------------------------------------------
 
@@ -317,6 +353,9 @@ class Host:
             )
             packet.meta["topo_flow"] = flow
             packet.meta["topo_sent"] = self.topo.sim.now
+            tracer = self.topo.tracer
+            if tracer.enabled:
+                tracer.on_host_send(self, packet)
             frame = packet.to_bytes()
             self.sent += 1
             self.link.send(self.end_index, packet, frame)
@@ -369,6 +408,8 @@ class Topology:
         self._next_router_id = 1
         self._src_port = 20000
         self.injector = None
+        self.tracer = NULL_TRACER
+        self.metrics = NULL_SAMPLER
         self._observed = False
         self._sample_period: Optional[int] = None
         self._log: List[Dict[str, Any]] = []
@@ -440,10 +481,17 @@ class Topology:
     @staticmethod
     def _router_end(node: RouterNode, port_id: int) -> _End:
         port = node.port(port_id)
+        topo = node.topo
 
         def deliver(packet: Packet, frame: bytes) -> None:
             packet.arrival_port = port.port_id
-            port.deliver(packet, frame)
+            accepted = port.deliver(packet, frame)
+            tracer = topo.tracer
+            if tracer.enabled:
+                if accepted:
+                    tracer.on_node_arrive(node.name, packet)
+                else:
+                    tracer.on_node_drop(node.name, packet)
 
         return _End(f"{node.name}.p{port_id}", deliver)
 
@@ -602,6 +650,36 @@ class Topology:
                 node.recorder = node.router.enable_observability(
                     sample_period=sample_period)
 
+    def enable_tracing(self) -> NetTracer:
+        """Attach the network-wide distributed tracer (see
+        :mod:`repro.topo.tracing`): every host-originated data packet
+        from here on carries a trace context across link crossings, so
+        its journey is reconstructable hop by hop.  Idempotent."""
+        if not self.tracer.enabled:
+            self.tracer = NetTracer(self)
+        return self.tracer
+
+    def enable_metrics(self, period: int = DEFAULT_METRICS_PERIOD,
+                       capacity: int = 4_096) -> MetricsSampler:
+        """Attach the deterministic time-series sampler (see
+        :mod:`repro.obs.metrics`) over every link and router currently
+        in the topology, plus the network-wide fault gauge, sampling
+        each ``period`` cycles of simulated time.  Call it after the
+        topology is built (links/routers added later are not probed).
+        Idempotent."""
+        if self.metrics.enabled:
+            return self.metrics
+        sampler = MetricsSampler(period=period, capacity=capacity)
+        probes = [link_probe(link)
+                  for link in sorted(self.links, key=lambda l: l.name)]
+        probes.extend(router_probe(self.nodes[name])
+                      for name in sorted(self.nodes))
+        probes.append(fault_probe(self))
+        self.sim.spawn(metrics_process(self.sim, sampler, probes),
+                       name="topo-metrics-sampler")
+        self.metrics = sampler
+        return sampler
+
     def enable_faults(self, seed: Optional[int] = None):
         """Attach ONE shared FaultInjector across every node (per-port
         hooks are keyed by port object, so plans never alias across
@@ -667,16 +745,35 @@ class Topology:
 
     def trace_hash(self) -> Optional[str]:
         """One hash over every node's trace: per-node trace hashes keyed
-        by node name, re-hashed -- stable across node iteration order."""
+        by node name -- each carrying that node's ring-eviction count, so
+        a truncated node changes the *network* hash -- re-hashed; stable
+        across node iteration order."""
         parts = {}
         for name in sorted(self.nodes):
             recorder = self.nodes[name].recorder
             if recorder is not None:
-                parts[name] = export.trace_hash(recorder.events.to_list())
+                parts[name] = {
+                    "hash": export.trace_hash(recorder.events.to_list()),
+                    "dropped_events": recorder.dropped_events,
+                }
         if not parts:
             return None
         blob = export.dumps(parts, sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()
+
+    @property
+    def trace_dropped_events(self) -> int:
+        """Ring-evicted trace spans summed over every node's recorder."""
+        return sum(node.recorder.dropped_events
+                   for node in self.nodes.values()
+                   if node.recorder is not None)
+
+    @property
+    def trace_truncated(self) -> bool:
+        """True when ANY node's trace ring wrapped: one truncated node
+        makes the merged network trace untrustworthy, so it is flagged
+        at network scope instead of silently passing."""
+        return self.trace_dropped_events > 0
 
     def accounting(self) -> Dict[str, int]:
         """Network-wide conservation of host data packets: everything a
@@ -714,6 +811,7 @@ class Topology:
             "router_drops": router_drops,
             "in_flight": in_flight,
             "residual": residual,
+            "trace_dropped_events": self.trace_dropped_events,
         }
 
     def _next_src_port(self) -> int:

@@ -112,6 +112,9 @@ class TopoResult:
     accounting: Dict[str, int] = field(default_factory=dict)
     stats: Dict[str, Any] = field(default_factory=dict)
     trace_hash: Optional[str] = None
+    #: the live topology (not serialized): netview reads its tracer /
+    #: metrics / recorders after the run.
+    topo: Optional[Topology] = field(default=None, repr=False, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -179,6 +182,7 @@ def _result(name: str, seed: int, window: int, warmup: int,
         accounting=topo.accounting(),
         stats=topo.stats(),
         trace_hash=topo.trace_hash(),
+        topo=topo,
     )
 
 
@@ -186,10 +190,14 @@ def _result(name: str, seed: int, window: int, warmup: int,
 # Scenario: link failure + reconvergence.
 # ---------------------------------------------------------------------------
 
-def _scenario_link_failure(seed: int, window: int, warmup: int) -> TopoResult:
+def _scenario_link_failure(seed: int, window: int, warmup: int,
+                           instrument: Optional[Callable[[Topology], None]] = None
+                           ) -> TopoResult:
     rng = random.Random(f"link-failure:{seed}")
     topo = _ring_with_primary(seed)
     _arm(topo, seed)
+    if instrument is not None:
+        instrument(topo)
     converge_cycles = topo.converge(max_cycles=CONVERGE_HORIZON)
 
     interval = 2_000
@@ -251,10 +259,14 @@ def _scenario_link_failure(seed: int, window: int, warmup: int) -> TopoResult:
 CHURN_FLAPS = 4
 
 
-def _scenario_route_churn(seed: int, window: int, warmup: int) -> TopoResult:
+def _scenario_route_churn(seed: int, window: int, warmup: int,
+                          instrument: Optional[Callable[[Topology], None]] = None
+                          ) -> TopoResult:
     rng = random.Random(f"route-churn:{seed}")
     topo = _ring_with_primary(seed)
     _arm(topo, seed)
+    if instrument is not None:
+        instrument(topo)
     inj = topo.injector
     converge_cycles = topo.converge(max_cycles=CONVERGE_HORIZON)
 
@@ -340,7 +352,9 @@ BOTTLENECK_BPS = 20e6
 BOTTLENECK_QUEUE = 32
 
 
-def _scenario_congestion(seed: int, window: int, warmup: int) -> TopoResult:
+def _scenario_congestion(seed: int, window: int, warmup: int,
+                         instrument: Optional[Callable[[Topology], None]] = None
+                         ) -> TopoResult:
     rng = random.Random(f"congestion-collapse:{seed}")
     topo = Topology(seed=seed)
     for name in ("r1", "r2", "r3", "r4"):
@@ -355,6 +369,8 @@ def _scenario_congestion(seed: int, window: int, warmup: int) -> TopoResult:
     topo.add_host("hc", "r3")
     topo.add_host("hf", "r4")
     _arm(topo, seed)
+    if instrument is not None:
+        instrument(topo)
     converge_cycles = topo.converge(max_cycles=CONVERGE_HORIZON)
 
     interval = 2_500
@@ -398,7 +414,7 @@ def _scenario_congestion(seed: int, window: int, warmup: int) -> TopoResult:
 # Catalog + runner.
 # ---------------------------------------------------------------------------
 
-SCENARIOS: Dict[str, Callable[[int, int, int], TopoResult]] = {
+SCENARIOS: Dict[str, Callable[..., TopoResult]] = {
     "link-failure": _scenario_link_failure,
     "route-churn": _scenario_route_churn,
     "congestion-collapse": _scenario_congestion,
@@ -406,9 +422,13 @@ SCENARIOS: Dict[str, Callable[[int, int, int], TopoResult]] = {
 
 
 def run_topo(name: str, seed: int = 0, window: int = DEFAULT_WINDOW,
-             warmup: int = DEFAULT_WARMUP) -> List[TopoResult]:
+             warmup: int = DEFAULT_WARMUP,
+             instrument: Optional[Callable[[Topology], None]] = None
+             ) -> List[TopoResult]:
     """Run one scenario (or ``"all"``); returns the results in catalog
-    order."""
+    order.  ``instrument`` is called with each freshly armed topology
+    before convergence -- netview uses it to switch on tracing and
+    metrics without forking the scenario definitions."""
     if name == "all":
         names = list(SCENARIOS)
     elif name in SCENARIOS:
@@ -417,7 +437,7 @@ def run_topo(name: str, seed: int = 0, window: int = DEFAULT_WINDOW,
         raise KeyError(
             f"unknown topo scenario {name!r}; pick from "
             f"{', '.join(SCENARIOS)} or 'all'")
-    return [SCENARIOS[n](seed, window, warmup) for n in names]
+    return [SCENARIOS[n](seed, window, warmup, instrument) for n in names]
 
 
 def bench_rows(results: List[TopoResult]) -> Dict[str, Dict[str, Any]]:

@@ -269,9 +269,11 @@ def test_parity_accepts_catch_all_and_real_classes():
     assert check_null_parity(_Live, _NullCatchAll, {"count": ("x.py", 1)}) == []
 
     from repro.faults.injector import FaultInjector, NullInjector
+    from repro.obs.metrics import MetricsSampler, NullSampler
     from repro.obs.recorder import NullRecorder, Recorder
     assert check_null_parity(Recorder, NullRecorder, {}) == []
     assert check_null_parity(FaultInjector, NullInjector, {}) == []
+    assert check_null_parity(MetricsSampler, NullSampler, {}) == []
 
 
 # ---------------------------------------------------------------------------
@@ -338,11 +340,70 @@ def test_rpr304_unregistered_monitor_rule():
         gc.collect()  # drop the fixture subclass from Rule.__subclasses__
 
 
+def test_rpr305_unregistered_literal():
+    v = one("""\
+        def probe(sampler, cycle):
+            if sampler.enabled:
+                sampler.sample("net.warp_factor", cycle, 1.0)
+        """)
+    assert (v.code, v.line) == ("RPR305", 3)
+    assert "net.warp_factor" in v.message
+
+
+def test_rpr305_unregistered_fstring_template():
+    v = one("""\
+        def probe(sampler, link, cycle):
+            if sampler.enabled:
+                sampler.sample(f"link.{link.name}.wobble", cycle, 1.0)
+        """)
+    assert (v.code, v.line) == ("RPR305", 3)
+    assert "link.x.wobble" in v.message
+
+
+def test_rpr305_split_prefix_template_fails():
+    """A template whose placeholder could straddle a ``.`` boundary
+    (``f"{prefix}.occupancy"``) cannot be resolved: the collapsed form
+    ``x.occupancy`` matches no family, so the lint forces probe authors
+    to spell the family prefix inline."""
+    v = one("""\
+        def probe(sampler, prefix, cycle):
+            if sampler.enabled:
+                sampler.sample(f"{prefix}.occupancy", cycle, 1.0)
+        """)
+    assert (v.code, v.line) == ("RPR305", 3)
+
+
+def test_rpr305_clean_registered_names():
+    clean("""\
+        def probe(sampler, link, node, cycle):
+            if sampler.enabled:
+                sampler.sample("net.links_down", cycle, 1.0)
+                sampler.sample(f"link.{link.name}.occupancy", cycle, 0.5)
+                sampler.sample(f"router.{node.name}.queue_depth", cycle, 0.25)
+        """)
+
+
+def test_rpr305_fires_via_metrics_attr_receiver():
+    v = one("""\
+        def poke(topo, cycle):
+            if topo.metrics.enabled:
+                topo.metrics.sample("bogus.series", cycle, 1.0)
+        """)
+    assert v.code == "RPR305"
+
+
 def test_registry_helpers():
     assert events.is_trace_event("mac_in")
     assert not events.is_trace_event("warp_drive")
     assert events.is_component("strongarm")
     assert events.is_component("me3.ctx1") and events.is_component("queue12")
+    assert events.is_metric_series("net.incidents")
+    assert events.is_metric_series("link.r1-r2.occupancy")
+    assert events.is_metric_series("router.r3.spf_runs")
+    assert not events.is_metric_series("link.r1-r2.wobble")
+    assert not events.is_metric_series("net.warp_factor")
+    assert events.unregistered_metric_series(
+        ["net.incidents", "bogus", "bogus", "link.a.up"]) == ["bogus"]
     assert not events.is_component("me3.ctx")  # pattern must match fully
     assert events.unregistered_events(["mac_in", "bogus"]) == ["bogus"]
 
