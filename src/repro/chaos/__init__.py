@@ -1,0 +1,32 @@
+"""Seeded chaos campaigns for the multi-router control plane.
+
+The topology scenarios (:mod:`repro.topo.scenarios`) script *specific*
+failures; this package generates *randomized* fault schedules from a
+seed, runs them against the scenario ring, checks the network-wide and
+control-plane invariants, and -- on a violation -- delta-debugs the
+schedule down to a minimal reproducing fault set that serializes to a
+replayable JSON artifact.
+
+Everything flows from the one seed: the schedule generator, the
+topology, the fault injector, and the simulator share no wall clock, so
+``python -m repro chaos --seed N`` is byte-identical run after run.
+"""
+
+from repro.chaos.campaign import (CampaignResult, TrialResult, run_campaign,
+                                  run_trial)
+from repro.chaos.schedule import (FAULT_KINDS, FaultSpec, generate_schedule,
+                                  schedule_from_json, schedule_to_json)
+from repro.chaos.shrink import shrink_schedule
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "CampaignResult",
+    "TrialResult",
+    "generate_schedule",
+    "run_campaign",
+    "run_trial",
+    "schedule_from_json",
+    "schedule_to_json",
+    "shrink_schedule",
+]

@@ -1,0 +1,113 @@
+"""Seeded fault-schedule generation and (de)serialization.
+
+A schedule is a sorted list of :class:`FaultSpec` records -- plain,
+frozen, JSON-round-trippable -- so a violating schedule can be written
+to disk, attached to a bug report, and replayed bit-for-bit with
+``python -m repro chaos --replay schedule.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence
+
+from repro.control.linkstate import DEAD_INTERVAL, HELLO_INTERVAL
+
+#: The fault vocabulary.  ``target`` is a link name (``"r1-r2"``) for
+#: link-scoped kinds and a router name for ``router-restart``.
+FAULT_KINDS = ("link-flap", "ctrl-loss", "gray-link", "router-restart")
+
+#: Kinds whose target is a link.
+LINK_KINDS = ("link-flap", "ctrl-loss", "gray-link")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: *what* happens to *which* target, *when*,
+    and for *how long*.  ``at`` is relative to the start of the
+    measurement window (after warmup); ``drop``/``corrupt`` are only
+    meaningful for ``ctrl-loss``."""
+
+    kind: str
+    target: str
+    at: int
+    duration: int
+    drop: float = 0.0
+    corrupt: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"pick from {', '.join(FAULT_KINDS)}")
+        if self.at < 0 or self.duration < 1:
+            raise ValueError(f"fault timing out of range: at={self.at} "
+                             f"duration={self.duration}")
+        if min(self.drop, self.corrupt) < 0 or self.drop + self.corrupt > 1.0:
+            raise ValueError(f"drop={self.drop} corrupt={self.corrupt} "
+                             "must be non-negative and sum to <= 1.0")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "target": self.target, "at": self.at,
+                "duration": self.duration, "drop": self.drop,
+                "corrupt": self.corrupt}
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "FaultSpec":
+        return cls(kind=doc["kind"], target=doc["target"], at=int(doc["at"]),
+                   duration=int(doc["duration"]),
+                   drop=float(doc.get("drop", 0.0)),
+                   corrupt=float(doc.get("corrupt", 0.0)))
+
+    def describe(self) -> str:
+        extra = ""
+        if self.kind == "ctrl-loss":
+            extra = f" drop={self.drop} corrupt={self.corrupt}"
+        return (f"{self.kind} on {self.target} at +{self.at} "
+                f"for {self.duration} cycles{extra}")
+
+
+def schedule_to_json(schedule: Sequence[FaultSpec], indent: int = 2) -> str:
+    """The replayable artifact: a canonical JSON list of fault dicts."""
+    return json.dumps([f.to_dict() for f in schedule], indent=indent,
+                      sort_keys=True)
+
+
+def schedule_from_json(text: str) -> List[FaultSpec]:
+    return [FaultSpec.from_dict(doc) for doc in json.loads(text)]
+
+
+def generate_schedule(seed: int, trial: int, links: Sequence[str],
+                      routers: Sequence[str], window: int,
+                      hello_interval: int = HELLO_INTERVAL,
+                      dead_interval: int = DEAD_INTERVAL,
+                      ) -> List[FaultSpec]:
+    """The seeded generator: 2-5 faults per trial, targets and timings
+    drawn from ``random.Random(f"chaos:{seed}:{trial}")`` so every
+    trial of every campaign is reproducible from two integers.
+
+    Durations start at the dead interval plus two hellos -- shorter
+    faults are undetectable by design (the flap un-happens before any
+    dead interval can expire) and would only dilute the campaign."""
+    rng = random.Random(f"chaos:{seed}:{trial}")
+    count = rng.randint(2, 5)
+    min_duration = dead_interval + 2 * hello_interval
+    max_extra = max(1, window // 4)
+    faults: List[FaultSpec] = []
+    for _ in range(count):
+        kind = FAULT_KINDS[rng.randrange(len(FAULT_KINDS))]
+        if kind in LINK_KINDS:
+            target = links[rng.randrange(len(links))]
+        else:
+            target = routers[rng.randrange(len(routers))]
+        at = rng.randrange(0, max(1, window // 2))
+        duration = min_duration + rng.randrange(max_extra)
+        drop = corrupt = 0.0
+        if kind == "ctrl-loss":
+            drop = round(rng.uniform(0.1, 0.5), 3)
+            corrupt = round(rng.uniform(0.0, 0.2), 3)
+        faults.append(FaultSpec(kind=kind, target=target, at=at,
+                                duration=duration, drop=drop, corrupt=corrupt))
+    faults.sort(key=lambda f: (f.at, f.kind, f.target))
+    return faults

@@ -1,0 +1,83 @@
+"""Schedule shrinking: delta-debug a violating fault schedule down to a
+minimal reproducing subset.
+
+Classic ddmin (Zeller's delta debugging) over the list of
+:class:`~repro.chaos.schedule.FaultSpec` records, followed by a greedy
+single-removal pass that guarantees 1-minimality: removing *any one*
+fault from the result makes the violation disappear.  The reproduction
+oracle is a full deterministic trial run, so shrinking is slow but
+exact -- there is no flakiness for the shrinker to chase, only the
+seeded simulation.
+
+Relative fault order is always preserved (subsets keep the original
+sort), so the minimal schedule replays with identical timing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from repro.chaos.schedule import FaultSpec
+
+Oracle = Callable[[Sequence[FaultSpec]], bool]
+
+
+def _chunks(items: List[FaultSpec], n: int) -> List[List[FaultSpec]]:
+    """Split into ``n`` contiguous chunks, as evenly as possible."""
+    out, start = [], 0
+    size, extra = divmod(len(items), n)
+    for i in range(n):
+        end = start + size + (1 if i < extra else 0)
+        if end > start:
+            out.append(items[start:end])
+        start = end
+    return out
+
+
+def ddmin(schedule: Sequence[FaultSpec], reproduces: Oracle
+          ) -> List[FaultSpec]:
+    """Minimize ``schedule`` against ``reproduces`` (which must return
+    True for the full schedule).  Tries each chunk, then each chunk's
+    complement, at doubling granularity."""
+    current = list(schedule)
+    n = 2
+    while len(current) >= 2:
+        chunks = _chunks(current, min(n, len(current)))
+        reduced = False
+        for chunk in chunks:
+            if reproduces(chunk):
+                current, n, reduced = chunk, 2, True
+                break
+        if not reduced:
+            for i in range(len(chunks)):
+                complement = [f for j, c in enumerate(chunks) if j != i
+                              for f in c]
+                if complement and reproduces(complement):
+                    current = complement
+                    n, reduced = max(2, n - 1), True
+                    break
+        if not reduced:
+            if n >= len(current):
+                break
+            n = min(2 * n, len(current))
+    return current
+
+
+def shrink_schedule(schedule: Sequence[FaultSpec], reproduces: Oracle
+                    ) -> List[FaultSpec]:
+    """ddmin plus a greedy 1-minimality pass.  Raises if the full
+    schedule does not reproduce (a shrink request for a passing trial
+    is a caller bug, not something to silently 'minimize')."""
+    if not reproduces(schedule):
+        raise ValueError("schedule does not reproduce the violation; "
+                         "nothing to shrink")
+    current = ddmin(schedule, reproduces)
+    changed = True
+    while changed and len(current) > 1:
+        changed = False
+        for i in range(len(current)):
+            candidate = current[:i] + current[i + 1:]
+            if reproduces(candidate):
+                current, changed = candidate, True
+                break
+    return current

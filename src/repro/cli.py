@@ -281,6 +281,63 @@ def cmd_netview(args) -> int:
     return max((v.exit_code() for v in views), default=0)
 
 
+def cmd_chaos(args) -> int:
+    from repro.chaos import (run_campaign, schedule_from_json,
+                             schedule_to_json)
+    from repro.chaos.campaign import bench_rows, replay_schedule
+    from repro.control.channel import DEFAULT_MAX_ATTEMPTS
+    from repro.obs import export
+    from repro.obs.bench_record import record_benchmark
+
+    if args.max_attempts is None:
+        args.max_attempts = DEFAULT_MAX_ATTEMPTS
+    if args.replay:
+        with open(args.replay) as fh:
+            schedule = schedule_from_json(fh.read())
+        result = replay_schedule(schedule, seed=args.seed,
+                                 window=args.window, warmup=args.warmup,
+                                 ctrl_max_attempts=args.max_attempts)
+        if args.json:
+            print(export.dumps(result.artifact(), indent=2, sort_keys=True))
+        else:
+            for spec in schedule:
+                print(f"replaying: {spec.describe()}")
+            verdict = ("recovered" if result.ok else
+                       f"VIOLATIONS: {', '.join(result.violations)}")
+            print(f"replay of {args.replay} (seed {args.seed}): {verdict}")
+        return 0 if result.ok else 1
+
+    campaign = run_campaign(args.seed, args.trials, window=args.window,
+                            warmup=args.warmup, shrink=args.shrink,
+                            ctrl_max_attempts=args.max_attempts)
+    if args.json:
+        print(campaign.to_json())
+    else:
+        for line in campaign.table():
+            print(line)
+    if args.artifact_out:
+        with open(args.artifact_out, "w") as fh:
+            fh.write(campaign.to_json() + "\n")
+        if not args.json:
+            print(f"campaign artifact written to {args.artifact_out}")
+    if args.minimal_out and campaign.minimal:
+        first = min(campaign.minimal)
+        with open(args.minimal_out, "w") as fh:
+            fh.write(schedule_to_json(campaign.minimal[first]) + "\n")
+        if not args.json:
+            print(f"minimal schedule for trial {first} written to "
+                  f"{args.minimal_out}")
+    if not args.no_bench:
+        path = record_benchmark(
+            "chaos", bench_rows(campaign), seed=args.seed,
+            config={"trials": args.trials, "window": args.window,
+                    "warmup": args.warmup,
+                    "max_attempts": args.max_attempts})
+        if not args.json:
+            print(f"bench trajectory written to {path}")
+    return campaign.exit_code()
+
+
 def cmd_workloads(args) -> int:
     from repro.obs import export
     from repro.workloads import run_workloads
@@ -355,6 +412,7 @@ COMMANDS: Dict[str, Callable] = {
     "faults": cmd_faults,
     "topo": cmd_topo,
     "netview": cmd_netview,
+    "chaos": cmd_chaos,
     "workloads": cmd_workloads,
     "lint": cmd_lint,
 }
@@ -483,6 +541,43 @@ def main(argv=None) -> int:
                                 help="chrome trace output path (single scenario)")
     netview_parser.add_argument("--no-bench", action="store_true",
                                 help="skip writing BENCH_netview.json")
+    chaos_parser = sub.add_parser(
+        "chaos", help="run seeded randomized fault schedules against the "
+        "scenario ring; exits non-zero when any trial violates a recovery "
+        "invariant"
+    )
+    chaos_parser.add_argument("--seed", type=int, default=0,
+                              help="campaign seed (default 0); schedules and "
+                              "verdicts are byte-identical per seed")
+    chaos_parser.add_argument("--trials", type=int, default=10,
+                              help="generated fault schedules to run "
+                              "(default 10)")
+    chaos_parser.add_argument("--window", type=int, default=90_000,
+                              help="per-trial measurement window in cycles "
+                              "(default 90000)")
+    chaos_parser.add_argument("--warmup", type=int, default=10_000,
+                              help="post-convergence warmup cycles "
+                              "(default 10000)")
+    chaos_parser.add_argument("--shrink", action="store_true",
+                              help="delta-debug each violating schedule to "
+                              "a minimal reproducing fault set")
+    chaos_parser.add_argument("--max-attempts", type=int, default=None,
+                              help="per-LSA retransmit budget (default: the "
+                              "channel's; lower to 1 to plant a fragile "
+                              "control plane for shrinker demos)")
+    chaos_parser.add_argument("--json", action="store_true",
+                              help="print the campaign artifact as JSON")
+    chaos_parser.add_argument("--artifact-out", default=None, metavar="FILE",
+                              help="write the campaign artifact JSON to FILE")
+    chaos_parser.add_argument("--minimal-out", default=None, metavar="FILE",
+                              help="write the first minimal schedule (when "
+                              "--shrink found one) to FILE, replayable via "
+                              "--replay")
+    chaos_parser.add_argument("--replay", default=None, metavar="FILE",
+                              help="replay a serialized schedule instead of "
+                              "generating trials")
+    chaos_parser.add_argument("--no-bench", action="store_true",
+                              help="skip writing BENCH_chaos.json")
     workloads_parser = sub.add_parser(
         "workloads", help="build BGP-shaped tables, replay internet-shaped "
         "probe streams and verify lookup invariants; exits non-zero when "
@@ -545,6 +640,9 @@ def main(argv=None) -> int:
             print(f"  {name}")
         print("netview (python -m repro netview <name> --seed N): the same "
               "scenarios with network-wide tracing + time-series metrics")
+        print("chaos (python -m repro chaos --seed N --trials K [--shrink]): "
+              "seeded randomized fault schedules with delta-debugged "
+              "minimal repros")
         from repro.net.routing import LOOKUP_BACKENDS
 
         print("lookup backends (python -m repro workloads --backend <name>):")

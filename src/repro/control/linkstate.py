@@ -30,6 +30,39 @@ SPF_BASE_CYCLES = 20_000
 SPF_PER_NODE_CYCLES = 3_000
 LSA_PROCESS_CYCLES = 1_200
 
+# Adjacency liveness timers (cycles).  A router declares a neighbor dead
+# after DEAD_INTERVAL cycles without a hello -- detection latency is
+# therefore bounded by dead_interval + one hello of phase skew, the bound
+# the link-failure scenario asserts.  Hellos are cheap relative to LSAs:
+# parse one small JSON body, touch one adjacency record.
+HELLO_INTERVAL = 2_000
+DEAD_INTERVAL = 3 * HELLO_INTERVAL
+HELLO_PROCESS_CYCLES = 150
+
+# Adjacency states (a compressed OSPF state machine):
+#   DOWN  -- nothing heard within the dead interval
+#   INIT  -- hearing the neighbor's hellos, but it does not list us yet
+#   FULL  -- two-way confirmed; the link enters SPF and LSAs flow
+ADJ_DOWN = "down"
+ADJ_INIT = "init"
+ADJ_FULL = "full"
+
+
+@dataclass
+class Adjacency:
+    """Liveness state for one neighbor, driven entirely by hellos."""
+
+    neighbor_id: int
+    cost: int
+    via_port: int
+    state: str = ADJ_DOWN
+    last_heard: int = 0      # cycle of the most recent hello
+    hellos_rx: int = 0
+    #: True once a hello arrived that listed US -- only then can a later
+    #: hello *without* us signal a one-way (gray) link rather than the
+    #: neighbor simply not having heard us yet during bootstrap.
+    mutual: bool = False
+
 
 @dataclass(frozen=True)
 class LinkStateAd:

@@ -58,6 +58,9 @@ class NullInjector:
     def on_rx(self, port, packet) -> int:
         return RX_OK
 
+    def on_control(self, link, direction, kind) -> int:
+        return RX_OK
+
     def on_i2o_send(self, pair) -> bool:
         return False
 
@@ -83,6 +86,12 @@ class NullInjector:
     def schedule_packet_faults(self, port, start: int, stop: int,
                                drop: float = 0.0, corrupt: float = 0.0,
                                duplicate: float = 0.0) -> None:
+        pass
+
+    def schedule_control_faults(self, link, start: int, stop: int,
+                                drop: float = 0.0, corrupt: float = 0.0,
+                                direction: Optional[int] = None,
+                                kinds: Optional[tuple] = None) -> None:
         pass
 
     def schedule_memory_spike(self, memory, at: int, hold_cycles: int,
@@ -126,6 +135,26 @@ class _PortPlan:
         self.duplicate = duplicate
 
 
+class _CtrlPlan:
+    """Per-link control-frame fault rates, active inside a cycle window.
+
+    ``direction`` narrows the plan to frames leaving one link end (None
+    = both); ``kinds`` narrows it to frame kinds (None = all) -- a
+    "gray link" is ``kinds=("hello",), drop=1.0``: data and LSAs flow,
+    liveness starves."""
+
+    __slots__ = ("start", "stop", "drop", "corrupt", "direction", "kinds")
+
+    def __init__(self, start: int, stop: int, drop: float, corrupt: float,
+                 direction: Optional[int], kinds: Optional[tuple]):
+        self.start = start
+        self.stop = stop
+        self.drop = drop
+        self.corrupt = corrupt
+        self.direction = direction
+        self.kinds = None if kinds is None else frozenset(kinds)
+
+
 class FaultInjector:
     """Seeded fault scheduler plus the runtime hooks components consult.
 
@@ -156,6 +185,10 @@ class FaultInjector:
         # attach one injector across all nodes for a merged log).
         self._links_down: set = set()           # MACPort objects flapped down
         self._port_plans: Dict[Any, _PortPlan] = {}
+        # Keyed by the InterRouterLink object; a list so several windows
+        # (e.g. two chaos loss bursts) can coexist on one link -- the
+        # first plan whose window/direction/kind matches applies.
+        self._ctrl_plans: Dict[Any, List[_CtrlPlan]] = {}
         self._i2o_plans: Dict[Any, tuple] = {}  # pair -> (start, stop, rate)
 
     # -- bookkeeping -----------------------------------------------------------
@@ -272,6 +305,56 @@ class FaultInjector:
         packet.ip.version = 7
         packet.meta["fault_corrupted"] = True
         self.count("mac-corrupt")
+
+    # -- control-plane frames: loss bursts, corruption, gray links ---------------
+
+    def schedule_control_faults(self, link, start: int, stop: int,
+                                drop: float = 0.0, corrupt: float = 0.0,
+                                direction: Optional[int] = None,
+                                kinds: Optional[tuple] = None) -> None:
+        """Arm per-frame fault rates on ``link``'s *control* path
+        (hellos/LSAs/acks) for cycles ``[start, stop)``.  Each frame
+        rolls the seeded RNG once; outcomes are counted as
+        ``ctrl-drop`` / ``ctrl-corrupt``.  Corruption flips payload bits
+        on the wire, so the receiver's checksum -- not the injector --
+        decides the frame's fate."""
+        if min(drop, corrupt) < 0 or drop + corrupt > 1.0:
+            raise ValueError("fault rates must be >= 0 and sum to <= 1")
+        self._ctrl_plans.setdefault(link, []).append(
+            _CtrlPlan(start, stop, drop, corrupt, direction, kinds))
+        scope = "both ways" if direction is None else f"from end {direction}"
+        what = "all frames" if kinds is None else "/".join(sorted(kinds))
+        self.record(
+            "control-faults-armed",
+            f"{link.name} cycles [{start},{stop}) {scope} ({what}): "
+            f"drop={drop} corrupt={corrupt}",
+            severity="green",
+        )
+
+    def on_control(self, link, direction, kind) -> int:
+        """InterRouterLink.send_control hook: the verdict for this
+        outbound control frame."""
+        plans = self._ctrl_plans.get(link)
+        if plans is None:
+            return RX_OK
+        now = self.sim.now
+        for plan in plans:
+            if not plan.start <= now < plan.stop:
+                continue
+            if plan.direction is not None and plan.direction != direction:
+                continue
+            if plan.kinds is not None and kind not in plan.kinds:
+                continue
+            roll = self.rng.random()
+            if roll < plan.drop:
+                self.count("ctrl-drop")
+                return RX_DROP
+            roll -= plan.drop
+            if roll < plan.corrupt:
+                self.count("ctrl-corrupt")
+                return RX_CORRUPT
+            return RX_OK
+        return RX_OK
 
     # -- memory / engine / bus stalls -------------------------------------------
 

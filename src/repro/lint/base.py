@@ -93,7 +93,7 @@ class LintConfig:
     recorder_hooks = frozenset({
         "record", "account", "sample_queue", "sample_series", "packet_id",
     })
-    injector_hooks = frozenset({"on_rx", "on_i2o_send"})
+    injector_hooks = frozenset({"on_rx", "on_i2o_send", "on_control"})
     sampler_hooks = frozenset({"sample"})
 
     #: Path suffixes exempt from the wall-clock rule (RPR102): the CLI

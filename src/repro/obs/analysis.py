@@ -338,6 +338,7 @@ def chrome_process_events(
         }
     ]
     tids: Dict[str, int] = {}
+    instants: List[Dict[str, Any]] = []
     for e in events:
         tid = tids.get(e.component)
         if tid is None:
@@ -351,10 +352,16 @@ def chrome_process_events(
             args["packet"] = e.packet_id
         if e.detail is not None:
             args["detail"] = str(e.detail)
-        out.append({
+        instants.append({
             "ph": "i", "pid": pid, "tid": tid, "s": "t",
             "ts": _us(e.cycle, clock_hz), "name": e.event, "args": args,
         })
+    # Some spans are recorded at a stamp taken earlier in the pipeline
+    # (e.g. enqueue at the descriptor's enqueue_cycle), so recorder
+    # order is not ts order when contexts finish out of arrival order.
+    # A stable sort restores per-track monotonicity deterministically.
+    instants.sort(key=lambda ev: ev["ts"])
+    out.extend(instants)
     return out
 
 

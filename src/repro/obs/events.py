@@ -47,7 +47,22 @@ LIFECYCLE_EVENTS = (
 DROP_EVENTS = ("drop", "sa_drop", "requeue_drop")
 
 #: Component-level markers that carry no packet lifecycle meaning.
-MARKER_EVENTS = ("spawn", "process_exit", "bridge_drop")
+#: The ``hello_*`` / ``lsa_*`` / ``ctrl_*`` / ``adjacency_*`` markers
+#: are the control plane's survivability trail (emitted by
+#: :mod:`repro.control.integration` and :mod:`repro.control.channel`).
+MARKER_EVENTS = (
+    "spawn",
+    "process_exit",
+    "bridge_drop",
+    "hello_tx",
+    "hello_rx",
+    "lsa_retransmit",
+    "lsa_abandoned",
+    "lsa_ack",
+    "ctrl_reject",
+    "adjacency_up",
+    "adjacency_down",
+)
 
 #: Every event name a hook site may pass to ``Recorder.record``.
 TRACE_EVENTS = frozenset(LIFECYCLE_EVENTS + DROP_EVENTS + MARKER_EVENTS)
@@ -62,6 +77,7 @@ COMPONENTS = frozenset((
     "dram",
     "sram",
     "scratch",
+    "control",
 ))
 
 #: Parameterized component families (context slots, queues, engines).
@@ -86,6 +102,7 @@ MONITOR_RULES = frozenset((
     "wfq-fairness",
     "trace-truncation",
     "fault-injection",
+    "control-plane",
 ))
 
 
@@ -105,6 +122,7 @@ METRIC_SERIES = frozenset((
 METRIC_PATTERNS = (
     r"link\.[^.]+\.(occupancy|carried|dropped|utilization|up)",
     r"router\.[^.]+\.(queue_depth|route_cache_hit_rate|spf_runs|lsas)",
+    r"ctrl\.[^.]+\.(hellos|retransmits|rejected|deaths|unacked)",
 )
 
 _METRIC_RE = re.compile(

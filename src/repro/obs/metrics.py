@@ -32,7 +32,7 @@ via ``enable_metrics()``.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional, Tuple
+from typing import Any, Dict, Generator, List, Tuple
 
 from repro.obs.recorder import RingBuffer
 
@@ -214,6 +214,35 @@ def router_probe(node):
         sampler.sample(f"router.{subject}.spf_runs", cycle, spf - last["spf"])
         sampler.sample(f"router.{subject}.lsas", cycle, lsas - last["lsas"])
         last.update(hits=hits, misses=misses, spf=spf, lsas=lsas)
+
+    return probe
+
+
+def control_probe(node):
+    """Per-router control-plane series: hello exchange rate, LSA
+    retransmit / checksum-rejection / neighbor-death deltas, and the
+    instantaneous unacked-LSA gauge (a sustained non-zero value is the
+    retransmit-storm signature the monitor rule hunts)."""
+    binding = node.binding
+    last = {"hellos": 0, "retransmits": 0, "rejected": 0, "deaths": 0}
+    subject = node.name
+
+    def probe(sampler, cycle: int) -> None:
+        hellos = binding.hellos_received
+        retransmits = binding.retransmits
+        rejected = binding.ctrl_rejected
+        deaths = binding.neighbor_deaths
+        sampler.sample(f"ctrl.{subject}.hellos", cycle,
+                       hellos - last["hellos"])
+        sampler.sample(f"ctrl.{subject}.retransmits", cycle,
+                       retransmits - last["retransmits"])
+        sampler.sample(f"ctrl.{subject}.rejected", cycle,
+                       rejected - last["rejected"])
+        sampler.sample(f"ctrl.{subject}.deaths", cycle,
+                       deaths - last["deaths"])
+        sampler.sample(f"ctrl.{subject}.unacked", cycle, binding.unacked)
+        last.update(hellos=hellos, retransmits=retransmits,
+                    rejected=rejected, deaths=deaths)
 
     return probe
 

@@ -11,6 +11,7 @@ queue-overflow         SRAM queue drop rate and occupancy               §3.4/§
 pci-saturation         PCI bus busy fraction (32-bit/33 MHz ceiling)    §3.7
 wfq-fairness           observed class shares vs configured weights      §3.4.1
 trace-truncation       observability ring evictions (honest analytics)  --
+control-plane          adjacency deaths / LSA retransmit storms         §4.1
 =====================  =============================================== ==========
 
 Each rule returns green / yellow / red.  Level *transitions* append to a
@@ -94,6 +95,13 @@ class HealthSample:
     # Fault injection (zero when no injector is attached).
     faults_injected: int = 0
     faults_active: int = 0
+    # Control plane (None = no control binding in this scenario).
+    # Deltas over the window except ``ctrl_unacked`` (instantaneous).
+    ctrl_neighbor_deaths: Optional[int] = None
+    ctrl_retransmits: Optional[int] = None
+    ctrl_abandoned: Optional[int] = None
+    ctrl_rejected: Optional[int] = None
+    ctrl_unacked: Optional[int] = None
 
 
 # ---------------------------------------------------------------------------
@@ -286,6 +294,60 @@ class FaultInjectionRule(Rule):
         return self._result(GREEN, 0.0, None, "no faults injected in window")
 
 
+class ControlPlaneRule(Rule):
+    """Control-plane survivability: a router that keeps forwarding but
+    can no longer maintain adjacencies or flood LSAs is the failure mode
+    the paper's robust control plane exists to prevent.  Red when the
+    window sees an adjacency-flap storm (>= 3 neighbor deaths), a
+    retransmit storm (>= 32 LSA retransmits), or any LSA abandoned after
+    exhausting its retry budget (flooding reliability lost).  Yellow on
+    any deaths, retransmits, checksum rejections, or unacked LSAs still
+    awaiting acknowledgement -- the plane is working, but under stress."""
+
+    name = "control-plane"
+    paper_ref = "section 4.1 (robust control plane)"
+
+    RED_DEATHS = 3
+    RED_RETRANSMITS = 32
+
+    def evaluate(self, sample: HealthSample) -> RuleResult:
+        if sample.ctrl_neighbor_deaths is None:
+            return self._result(GREEN, None, None,
+                                "no control-plane binding in this scenario")
+        deaths = sample.ctrl_neighbor_deaths
+        retransmits = sample.ctrl_retransmits or 0
+        abandoned = sample.ctrl_abandoned or 0
+        rejected = sample.ctrl_rejected or 0
+        unacked = sample.ctrl_unacked or 0
+        if abandoned > 0:
+            return self._result(
+                RED, float(abandoned), 1.0,
+                f"{abandoned} LSAs abandoned after retry budget; "
+                "flooding reliability lost",
+            )
+        if deaths >= self.RED_DEATHS:
+            return self._result(
+                RED, float(deaths), float(self.RED_DEATHS),
+                f"{deaths} neighbor deaths in window "
+                f"(>= {self.RED_DEATHS}): adjacency flap storm",
+            )
+        if retransmits >= self.RED_RETRANSMITS:
+            return self._result(
+                RED, float(retransmits), float(self.RED_RETRANSMITS),
+                f"{retransmits} LSA retransmits in window "
+                f"(>= {self.RED_RETRANSMITS}): retransmit storm",
+            )
+        if deaths or retransmits or rejected or unacked:
+            return self._result(
+                YELLOW, float(deaths + retransmits + rejected),
+                float(self.RED_DEATHS),
+                f"{deaths} deaths, {retransmits} retransmits, "
+                f"{rejected} rejected frames, {unacked} LSAs unacked",
+            )
+        return self._result(GREEN, 0.0, float(self.RED_DEATHS),
+                            "adjacencies stable; flooding fully acked")
+
+
 class TraceTruncationRule(Rule):
     """Observability self-check: a wrapped trace ring means every
     downstream analysis is partial.  Never red (the router itself is
@@ -342,6 +404,11 @@ class HealthMonitor:
             # the exact rule set (and incident stream) they had before
             # fault injection existed.
             self.rules.append(FaultInjectionRule())
+        self._control_binding = getattr(router, "control_binding", None)
+        if self._control_binding is not None and rules is None:
+            # Same opt-in shape: single-router profile scenarios have no
+            # control binding and keep their historical rule set.
+            self.rules.append(ControlPlaneRule())
         if budget is None and router is not None:
             budget = router.config.budget
         if budget is None:
@@ -358,6 +425,7 @@ class HealthMonitor:
         self._pci_busy_snapshot = 0 if router is None else router.pci.busy_cycles
         self._wfq_snapshot: Dict[str, int] = self._wfq_packets()
         self._faults_snapshot = self._faults_total()
+        self._ctrl_snapshot = self._ctrl_totals()
         self._injector_drained = 0
         self._last_cycle = chip.sim.now
 
@@ -365,6 +433,17 @@ class HealthMonitor:
         if self.injector is None:
             return 0
         return sum(self.injector.counts.values())
+
+    def _ctrl_totals(self) -> Dict[str, int]:
+        binding = self._control_binding
+        if binding is None:
+            return {}
+        return {
+            "deaths": binding.neighbor_deaths,
+            "retransmits": binding.retransmits,
+            "abandoned": binding.abandoned,
+            "rejected": binding.ctrl_rejected,
+        }
 
     # -- sampling ---------------------------------------------------------
 
@@ -402,6 +481,17 @@ class HealthMonitor:
                     for name, cls in wfq.classes.items()
                 }
 
+        ctrl_deaths = ctrl_retransmits = ctrl_abandoned = None
+        ctrl_rejected = ctrl_unacked = None
+        if self._control_binding is not None:
+            totals = self._ctrl_totals()
+            prev = self._ctrl_snapshot
+            ctrl_deaths = totals["deaths"] - prev.get("deaths", 0)
+            ctrl_retransmits = totals["retransmits"] - prev.get("retransmits", 0)
+            ctrl_abandoned = totals["abandoned"] - prev.get("abandoned", 0)
+            ctrl_rejected = totals["rejected"] - prev.get("rejected", 0)
+            ctrl_unacked = self._control_binding.unacked
+
         return HealthSample(
             cycle=now,
             window_cycles=window,
@@ -422,6 +512,11 @@ class HealthMonitor:
             dropped_events=self.recorder.dropped_events,
             faults_injected=self._faults_total() - self._faults_snapshot,
             faults_active=0 if self.injector is None else self.injector.active,
+            ctrl_neighbor_deaths=ctrl_deaths,
+            ctrl_retransmits=ctrl_retransmits,
+            ctrl_abandoned=ctrl_abandoned,
+            ctrl_rejected=ctrl_rejected,
+            ctrl_unacked=ctrl_unacked,
         )
 
     # -- evaluation -------------------------------------------------------
@@ -467,6 +562,7 @@ class HealthMonitor:
             self._pci_busy_snapshot = self.router.pci.busy_cycles
         self._wfq_snapshot = self._wfq_packets()
         self._faults_snapshot = self._faults_total()
+        self._ctrl_snapshot = self._ctrl_totals()
         self._last_cycle = sample.cycle
         return results
 

@@ -17,6 +17,15 @@ Pentium, and the computed routes are programmed into the real routing
 table -- invalidating the MicroEngines' route caches exactly as a live
 reconvergence would.
 
+The control plane is *survivable*, not oracular: hellos tick on every
+adjacency, a router declares a neighbor dead only after the configured
+dead interval of silence and then originates its own withdrawal LSA,
+and LSAs ride the links' control path -- subject to loss, corruption,
+flaps and the shared fault injector -- behind per-neighbor ack +
+bounded-backoff retransmission (:mod:`repro.control.channel`).  Control
+frames share each link's latency, loss seed and a bounded queue but not
+its data bandwidth: the paper's strict priority for protocol traffic.
+
 Packets crossing a link are *scrubbed*: the next hop receives a copy
 whose ``meta`` keeps only end-to-end keys (``topo_*`` flow tags and the
 ICMP marker), never the previous router's internal annotations -- two
@@ -29,17 +38,20 @@ import hashlib
 import random
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.control.integration import ControlPlaneBinding, make_lsa_packet
-from repro.control.linkstate import LinkStateNode
+from repro.control.channel import (DEFAULT_MAX_ATTEMPTS, NeighborChannel,
+                                   corrupt_wire)
+from repro.control.integration import ControlPlaneBinding
+from repro.control.linkstate import ADJ_FULL, HELLO_INTERVAL, LinkStateNode
 from repro.core.router import Router, RouterConfig
 from repro.engine import Delay, Simulator
+from repro.faults.injector import RX_CORRUPT, RX_DROP
 from repro.net.ethernet import wire_bits
 from repro.net.ip import PROTO_ICMP
 from repro.net.packet import Packet, make_tcp_packet
 from repro.obs import export
 from repro.obs.metrics import (DEFAULT_METRICS_PERIOD, NULL_SAMPLER,
-                               MetricsSampler, fault_probe, link_probe,
-                               metrics_process, router_probe)
+                               MetricsSampler, control_probe, fault_probe,
+                               link_probe, metrics_process, router_probe)
 from repro.topo.tracing import NULL_TRACER, NetTracer
 
 #: Cycle clock shared with the routers (200 MHz IXP1200 core clock).
@@ -56,7 +68,10 @@ _META_KEEP_PREFIX = "topo_"
 
 #: Incident kinds the topology itself records (vs. per-packet counts).
 LOGGED_KINDS = ("topo-link-down", "topo-link-up", "topo-reconverged",
-                "link-down", "link-up", "packet-faults-armed")
+                "link-down", "link-up", "packet-faults-armed",
+                "control-faults-armed", "ctrl-neighbor-dead",
+                "ctrl-adjacency-full", "ctrl-router-crash",
+                "ctrl-router-restart")
 
 
 def _scrub_copy(packet: Packet) -> Packet:
@@ -99,6 +114,9 @@ class InterRouterLink:
     network-wide accounting can conserve host traffic exactly."""
 
     _COUNT_KEYS = ("carried", "dropped_down", "dropped_loss", "dropped_overflow")
+    _CTRL_COUNT_KEYS = ("ctrl_carried", "ctrl_corrupted", "ctrl_dropped_down",
+                        "ctrl_dropped_fault", "ctrl_dropped_loss",
+                        "ctrl_dropped_overflow")
 
     def __init__(self, topo: "Topology", name: str, latency: int = DEFAULT_LINK_LATENCY,
                  bandwidth_bps: Optional[float] = None, loss: float = 0.0,
@@ -114,14 +132,25 @@ class InterRouterLink:
         self.queue_limit = int(queue_limit)
         self.cost = cost
         self.up = True
+        #: cycle the link last went down (None while up): the baseline
+        #: detection latency is measured against.
+        self.down_at: Optional[int] = None
         #: router endpoints when this is an inter-router link (set by
         #: Topology.connect): (RouterNode, RouterNode) and their ports.
         self.nodes: Tuple = ()
         self.ports: Tuple[int, ...] = ()
         self._rng = random.Random(f"{topo.seed}:{name}")
+        #: Separate loss stream for control frames: interleaving them
+        #: into the data RNG would make every data-drop sequence depend
+        #: on hello phasing.
+        self._ctrl_rng = random.Random(f"{topo.seed}:{name}:ctrl")
         self._ends: List[_End] = []
         self._busy_until = [0, 0]
         self._in_flight = [0, 0]
+        self._ctrl_in_flight = [0, 0]
+        #: LSA/ack frames in flight (hellos excluded): the reliable-
+        #: flooding quiescence signal -- periodic hellos never settle.
+        self.ctrl_reliable_in_flight = 0
         #: total cycles spent serializing frames (both directions): the
         #: utilization numerator for repro.obs.metrics.link_probe.
         self.serialized_cycles = 0
@@ -129,6 +158,8 @@ class InterRouterLink:
         for key in self._COUNT_KEYS:
             self.counts[key] = 0
             self.counts[key + "_data"] = 0
+        for key in self._CTRL_COUNT_KEYS:
+            self.counts[key] = 0
 
     def attach(self, end: _End) -> int:
         if len(self._ends) >= 2:
@@ -200,6 +231,55 @@ class InterRouterLink:
         self.sim.schedule(max(1, done + self.latency - now), arrive)
         return True
 
+    def send_control(self, from_index: int, data: bytes, kind: str) -> bool:
+        """Carry one control frame (hello/LSA/ack) to the other end.
+
+        Control frames share the link's fate -- latency, up/down state,
+        the (separately seeded) loss rate, fault-injector verdicts and a
+        bounded queue -- but not its data bandwidth: protocol traffic is
+        strictly prioritized ahead of data serialization, so a congested
+        bottleneck can never starve the hellos that keep it routable.
+        Returns False when the frame is dropped."""
+        if not self.up:
+            self.counts["ctrl_dropped_down"] += 1
+            return False
+        if self.loss and self._ctrl_rng.random() < self.loss:
+            self.counts["ctrl_dropped_loss"] += 1
+            return False
+        injector = self.topo.injector
+        if injector is not None and injector.enabled:
+            verdict = injector.on_control(self, from_index, kind)
+            if verdict == RX_DROP:
+                self.counts["ctrl_dropped_fault"] += 1
+                return False
+            if verdict == RX_CORRUPT:
+                self.counts["ctrl_corrupted"] += 1
+                data = corrupt_wire(data)
+        direction = from_index
+        if self._ctrl_in_flight[direction] >= self.queue_limit:
+            self.counts["ctrl_dropped_overflow"] += 1
+            return False
+        self._ctrl_in_flight[direction] += 1
+        reliable = kind != "hello"
+        if reliable:
+            self.ctrl_reliable_in_flight += 1
+        dest = self.nodes[1 - from_index]
+        src_id = self.nodes[from_index].router_id
+
+        def arrive() -> None:
+            self._ctrl_in_flight[direction] -= 1
+            if reliable:
+                self.ctrl_reliable_in_flight -= 1
+            if not self.up:
+                # Went down while the frame was in flight.
+                self.counts["ctrl_dropped_down"] += 1
+                return
+            self.counts["ctrl_carried"] += 1
+            dest.binding.on_wire(src_id, data, self.sim.now)
+
+        self.sim.schedule(max(1, self.latency), arrive)
+        return True
+
     @property
     def in_flight(self) -> int:
         return sum(self._in_flight)
@@ -229,7 +309,10 @@ class RouterNode:
             router_id,
             send=lambda neighbor, payload: topo._send_lsa(self, neighbor, payload),
         )
-        self.binding = ControlPlaneBinding(self.router, self.node)
+        self.binding = ControlPlaneBinding(
+            self.router, self.node,
+            hello_interval=topo.hello_interval,
+            dead_interval=topo.dead_interval)
         self.recorder = None
         self.monitor = None
         self._next_port = 0
@@ -260,6 +343,7 @@ class RouterNode:
         snap["routes"] = len(self.node.routes)
         snap["route_programs"] = self.binding.route_programs
         snap["route_withdrawals"] = self.binding.route_withdrawals
+        snap["ctrl"] = self.binding.control_stats()
         snap["rx_dropped_packets"] = sum(
             p.stats.counter("rx_dropped_packets").value for p in self.router.ports)
         snap["rx_fault_dropped"] = sum(
@@ -384,22 +468,29 @@ class Topology:
     then ``converge()`` to flood LSAs and program every routing table,
     and drive traffic with ``Host.start_flow`` + ``run``.
 
-    Control transport is ``direct`` by default: LSAs ride the links'
-    latency via simulator callbacks and are charged to each node's
-    Pentium through the binding (flood quiescence is tracked, so
-    convergence is detected exactly).  ``control="packet"`` sends LSAs
-    as real packets through the routers' exceptional path instead --
-    faithful but far slower to simulate.
+    Control transport rides the links: every adjacency carries periodic
+    hellos (``hello_interval``) and a reliable per-neighbor LSA channel
+    over :meth:`InterRouterLink.send_control` -- lossy, flappable,
+    fault-injectable.  A router that misses hellos for ``dead_interval``
+    cycles declares the neighbor dead *itself* and floods its own
+    withdrawal; there is no oracle notifying endpoints of failures.
     """
 
-    def __init__(self, seed: int = 0, control: str = "direct",
-                 default_ports: int = DEFAULT_NUM_PORTS):
-        if control not in ("direct", "packet"):
-            raise ValueError(f"unknown control transport {control!r}")
+    def __init__(self, seed: int = 0, default_ports: int = DEFAULT_NUM_PORTS,
+                 hello_interval: int = HELLO_INTERVAL,
+                 dead_interval: Optional[int] = None,
+                 ctrl_max_attempts: int = DEFAULT_MAX_ATTEMPTS):
+        if hello_interval <= 0:
+            raise ValueError(f"hello_interval must be positive, got {hello_interval}")
         self.sim = Simulator()
         self.seed = seed
-        self.control = control
         self.default_ports = default_ports
+        self.hello_interval = hello_interval
+        self.dead_interval = (3 * hello_interval if dead_interval is None
+                              else dead_interval)
+        #: Retransmit budget per LSA (chaos campaigns lower it to 1 to
+        #: plant a deliberately fragile control plane).
+        self.ctrl_max_attempts = ctrl_max_attempts
         self.nodes: Dict[str, RouterNode] = {}
         self.hosts: Dict[str, Host] = {}
         self.links: List[InterRouterLink] = []
@@ -413,9 +504,14 @@ class Topology:
         self._observed = False
         self._sample_period: Optional[int] = None
         self._log: List[Dict[str, Any]] = []
-        self.control_messages = 0
-        self.control_dropped = 0
-        self._control_inflight = 0
+        self.control_messages = 0      # LSA frames offered (incl. retransmits)
+        self.hello_messages = 0
+        self.ack_messages = 0
+        self.control_dropped = 0       # control frames lost on the wire
+        #: locally-detected neighbor deaths: {"cycle", "node", "neighbor",
+        #: "reason", "latency"} (latency measured from the link's down
+        #: moment; None for one-way/gray detections with the link up).
+        self.detections: List[Dict[str, Any]] = []
         #: completed reconvergence episodes: {"label", "started", "cycles"}.
         self.reconvergences: List[Dict[str, Any]] = []
 
@@ -431,12 +527,26 @@ class Topology:
         self._next_router_id += 1
         self.nodes[name] = node
         self._by_id[node.router_id] = node
+        node.binding.on_neighbor_dead = (
+            lambda nid, reason, node=node: self._on_neighbor_dead(node, nid, reason))
+        node.binding.on_adjacency_full = (
+            lambda nid, node=node: self._on_adjacency_full(node, nid))
+        self.sim.spawn(self._hello_process(node), name=f"ctrl-hello-{name}")
         if self.injector is not None:
             self.injector.attach_router(node.router, label=name)
         if self._observed:
             node.recorder = node.router.enable_observability(
                 sample_period=self._sample_period)
         return node
+
+    def _hello_process(self, node: RouterNode):
+        """One router's hello heartbeat.  The phase offset is a fixed
+        per-router stagger (well under the dead interval) so hellos never
+        fire network-synchronized, yet every run is deterministic."""
+        yield Delay(1 + (node.router_id * 587) % self.hello_interval)
+        while True:
+            node.binding.tick(self.sim.now)
+            yield Delay(self.hello_interval)
 
     def _node(self, ref) -> RouterNode:
         if isinstance(ref, RouterNode):
@@ -468,15 +578,40 @@ class Topology:
             lambda pkt, frame, link=link, idx=ia: link.send(idx, pkt, frame))
         nb.port(pb).tx_listeners.append(
             lambda pkt, frame, link=link, idx=ib: link.send(idx, pkt, frame))
-        na.node.add_link(nb.router_id, cost, via_port=pa)
-        nb.node.add_link(na.router_id, cost, via_port=pb)
+        na.binding.attach_channel(
+            nb.router_id, cost, pa, self._make_channel(na, nb.router_id, link, ia))
+        nb.binding.attach_channel(
+            na.router_id, cost, pb, self._make_channel(nb, na.router_id, link, ib))
         self._adjacency[(na.router_id, nb.router_id)] = link
         self._adjacency[(nb.router_id, na.router_id)] = link
-        if self.control == "packet":
-            na.binding.listen_to_neighbor(nb.control_address)
-            nb.binding.listen_to_neighbor(na.control_address)
         self.links.append(link)
         return link
+
+    def _make_channel(self, node: RouterNode, neighbor_id: int,
+                      link: InterRouterLink, end_index: int) -> NeighborChannel:
+        """The reliable control channel one router runs toward one
+        neighbor, transmitting over the link's control path.  The RTO
+        starts at several round trips so an ack in flight never races a
+        spurious retransmit."""
+
+        def transmit(data: bytes, kind: str) -> None:
+            if kind == "lsa":
+                self.control_messages += 1
+            elif kind == "hello":
+                self.hello_messages += 1
+            else:
+                self.ack_messages += 1
+            if not link.send_control(end_index, data, kind):
+                self.control_dropped += 1
+
+        return NeighborChannel(
+            node.router_id, neighbor_id,
+            transmit=transmit,
+            schedule=self.sim.schedule,
+            now=lambda: self.sim.now,
+            rto=max(2_000, 4 * link.latency),
+            max_attempts=self.ctrl_max_attempts,
+        )
 
     @staticmethod
     def _router_end(node: RouterNode, port_id: int) -> _End:
@@ -533,37 +668,36 @@ class Topology:
     # -- control transport ---------------------------------------------------
 
     def _send_lsa(self, src: RouterNode, neighbor_id: int, payload: bytes) -> None:
-        link = self._adjacency.get((src.router_id, neighbor_id))
-        if link is None or not link.up:
+        """The LinkStateNode ``send`` callable: hand the LSA to the
+        reliable per-neighbor channel (which owns retransmission); the
+        channel's transmit closure puts it on the link."""
+        channel = src.binding.channels.get(neighbor_id)
+        if channel is None:
             self.control_dropped += 1
             return
-        self.control_messages += 1
-        if self.control == "packet":
-            packet = make_lsa_packet(payload, src=src.control_address)
-            link.send(link.index_of(src), packet, packet.to_bytes())
-            return
-        dst = self._by_id[neighbor_id]
-        self._control_inflight += 1
+        channel.send_lsa(payload)
 
-        def arrive() -> None:
-            self._control_inflight -= 1
-            if link.up:
-                dst.binding.deliver_direct(payload, from_neighbor=src.router_id)
-            else:
-                self.control_dropped += 1
+    def _control_settled(self) -> bool:
+        """True when reliable flooding is quiescent: every LSA sent has
+        been acked or abandoned, and no LSA/ack is on a wire.  Hellos
+        are periodic background noise and deliberately excluded."""
+        if any(node.binding.unacked for node in self.nodes.values()):
+            return False
+        return all(link.ctrl_reliable_in_flight == 0 for link in self.links)
 
-        self.sim.schedule(max(1, link.latency), arrive)
-
-    def _quiesced(self) -> bool:
-        if self.control == "direct":
-            return self._control_inflight == 0
+    def _lsdbs_equal(self) -> bool:
         nodes = list(self.nodes.values())
         first = nodes[0].node
         return all(first.converged_with(n.node) for n in nodes[1:])
 
+    def _quiesced(self) -> bool:
+        return self._control_settled() and self._lsdbs_equal()
+
     def converge(self, max_cycles: int = 1_000_000, step: int = 2_000) -> int:
-        """Originate every node's LSA and run until flooding quiesces;
-        returns the cycles it took.  Raises if the horizon is exceeded."""
+        """Originate every node's LSA and run until flooding quiesces
+        (all LSAs acked, all LSDBs equal); returns the cycles it took.
+        Raises if the horizon is exceeded -- e.g. on a partitioned graph,
+        where database equality is unreachable."""
         for node in self.nodes.values():
             node.node.originate()
         start = self.sim.now
@@ -581,55 +715,137 @@ class Topology:
 
     def fail_link(self, a, b, at: int, restore_at: Optional[int] = None) -> InterRouterLink:
         """Schedule link (a, b) to go down ``at`` cycles from now (and
-        optionally come back at ``restore_at``).  Both endpoints detect
-        the failure, withdraw the adjacency, re-originate, and the
-        topology records the reconvergence episode when flooding
-        quiesces again."""
+        optionally come back at ``restore_at``).  The topology only
+        flips the link's physical state: each endpoint must *notice*
+        for itself -- missed hellos expire the dead interval, the
+        adjacency is withdrawn, and the router originates its own
+        withdrawal LSA.  No endpoint is notified by the harness."""
         if restore_at is not None and restore_at <= at:
             raise ValueError("restore_at must come after at")
         link = self.link_between(a, b)
-        na, nb = link.nodes
 
         def failer():
             yield Delay(max(1, at))
             if link.up:
-                link.up = False
-                self.record("topo-link-down",
-                            f"link {link.name} down", severity="red")
-                na.node.remove_link(nb.router_id)
-                nb.node.remove_link(na.router_id)
-                na.node.originate()
-                nb.node.originate()
-                # Local detection reprograms locally: no LSA arrives at
-                # the detecting router itself, so reconcile explicitly
-                # or its table keeps stale blackhole routes.
-                na.binding.reconcile()
-                nb.binding.reconcile()
-                self._watch_reconvergence(f"link {link.name} failure")
+                self._take_link_down(link)
             if restore_at is not None:
                 yield Delay(max(1, restore_at - at))
                 if not link.up:
-                    link.up = True
-                    na.node.add_link(nb.router_id, link.cost, via_port=link.ports[0])
-                    nb.node.add_link(na.router_id, link.cost, via_port=link.ports[1])
-                    self.record("topo-link-up",
-                                f"link {link.name} restored", severity="green")
-                    na.node.originate()
-                    nb.node.originate()
-                    na.binding.reconcile()
-                    nb.binding.reconcile()
-                    self._watch_reconvergence(f"link {link.name} restore")
+                    self._bring_link_up(link)
 
         self.sim.spawn(failer(), name=f"topo-fail-{link.name}")
         return link
 
-    def _watch_reconvergence(self, label: str, poll: int = 500) -> None:
-        if self.control != "direct":
-            return  # packet mode has no exact quiescence signal
+    def restore_link(self, a, b, at: int = 0) -> InterRouterLink:
+        """Schedule link (a, b) to come back up ``at`` cycles from now.
+        The adjacency re-forms only once hellos complete the two-way
+        handshake (about two hello intervals): until both ends reach
+        FULL, SPF keeps routing around the link."""
+        link = self.link_between(a, b)
+
+        def restorer():
+            yield Delay(max(1, at))
+            if not link.up:
+                self._bring_link_up(link)
+
+        self.sim.spawn(restorer(), name=f"topo-restore-{link.name}")
+        return link
+
+    def _take_link_down(self, link: InterRouterLink) -> None:
+        link.up = False
+        link.down_at = self.sim.now
+        self.record("topo-link-down", f"link {link.name} down", severity="red")
+        self._watch_reconvergence(f"link {link.name} failure", link, kind="down")
+
+    def _bring_link_up(self, link: InterRouterLink) -> None:
+        link.up = True
+        link.down_at = None
+        self.record("topo-link-up", f"link {link.name} restored",
+                    severity="green")
+        self._watch_reconvergence(f"link {link.name} restore", link, kind="up")
+
+    def crash_control(self, name, at: int,
+                      restart_after: Optional[int] = None) -> RouterNode:
+        """Crash ``name``'s control-plane process ``at`` cycles from now
+        (optionally restarting ``restart_after`` cycles later).  Only
+        the protocol dies: the data plane keeps forwarding on the last
+        programmed table -- the paper's control/data split -- while
+        neighbors detect the silence via their dead intervals."""
+        node = self._node(name)
+
+        def crasher():
+            yield Delay(max(1, at))
+            node.binding.crash()
+            self.record("ctrl-router-crash",
+                        f"{node.name} control plane crashed", severity="red")
+            if restart_after is not None:
+                yield Delay(max(1, restart_after))
+                node.binding.restart()
+                self.record("ctrl-router-restart",
+                            f"{node.name} control plane restarted",
+                            severity="green")
+
+        self.sim.spawn(crasher(), name=f"ctrl-crash-{node.name}")
+        return node
+
+    # -- detection bookkeeping (called by the bindings) ----------------------
+
+    def _on_neighbor_dead(self, node: RouterNode, neighbor_id: int,
+                          reason: str) -> None:
+        neighbor = self._by_id.get(neighbor_id)
+        neighbor_name = neighbor.name if neighbor is not None else str(neighbor_id)
+        link = self._adjacency.get((node.router_id, neighbor_id))
+        latency = None
+        if link is not None and not link.up and link.down_at is not None:
+            latency = self.sim.now - link.down_at
+        self.detections.append({
+            "cycle": self.sim.now,
+            "node": node.name,
+            "neighbor": neighbor_name,
+            "reason": reason,
+            "latency": latency,
+        })
+        self.record("ctrl-neighbor-dead",
+                    f"{node.name} declared {neighbor_name} dead ({reason})",
+                    severity="yellow")
+
+    def _on_adjacency_full(self, node: RouterNode, neighbor_id: int) -> None:
+        neighbor = self._by_id.get(neighbor_id)
+        neighbor_name = neighbor.name if neighbor is not None else str(neighbor_id)
+        self.record("ctrl-adjacency-full",
+                    f"{node.name} adjacency to {neighbor_name} is full",
+                    severity="green")
+
+    def _adjacency_state(self, node: RouterNode, neighbor_id: int) -> Optional[str]:
+        adj = node.binding.adjacencies.get(neighbor_id)
+        return None if adj is None else adj.state
+
+    def _watch_reconvergence(self, label: str, link: InterRouterLink,
+                             kind: str, poll: int = 500) -> None:
+        """Record a reconvergence episode measured from the physical
+        event: first wait for *detection* (both ends withdraw the dead
+        adjacency, or both re-form it after a restore), then for
+        reliable flooding to settle.  The episode therefore includes
+        the dead-interval detection latency -- the honest number."""
         started = self.sim.now
+        na, nb = link.nodes
 
         def watch():
-            while self._control_inflight > 0:
+            if kind == "down":
+                while (nb.router_id in na.node.neighbors
+                       or na.router_id in nb.node.neighbors):
+                    if link.up:
+                        return  # restored before detection completed
+                    yield Delay(poll)
+            else:
+                while not (
+                    self._adjacency_state(na, nb.router_id) == ADJ_FULL
+                    and self._adjacency_state(nb, na.router_id) == ADJ_FULL
+                ):
+                    if not link.up:
+                        return  # failed again before the handshake
+                    yield Delay(poll)
+            while not self._control_settled():
                 yield Delay(poll)
             cycles = self.sim.now - started
             self.reconvergences.append(
@@ -673,6 +889,8 @@ class Topology:
         probes = [link_probe(link)
                   for link in sorted(self.links, key=lambda l: l.name)]
         probes.extend(router_probe(self.nodes[name])
+                      for name in sorted(self.nodes))
+        probes.extend(control_probe(self.nodes[name])
                       for name in sorted(self.nodes))
         probes.append(fault_probe(self))
         self.sim.spawn(metrics_process(self.sim, sampler, probes),
@@ -737,9 +955,13 @@ class Topology:
             "links": {link.name: dict(sorted(link.counts.items()))
                       for link in sorted(self.links, key=lambda l: l.name)},
             "control": {
-                "transport": self.control,
+                "transport": "link",
                 "messages": self.control_messages,
+                "hellos": self.hello_messages,
+                "acks": self.ack_messages,
                 "dropped": self.control_dropped,
+                "hello_interval": self.hello_interval,
+                "dead_interval": self.dead_interval,
             },
         }
 

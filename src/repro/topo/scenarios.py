@@ -109,6 +109,7 @@ class TopoResult:
     incidents: List[Dict[str, Any]] = field(default_factory=list)
     fault_counts: Dict[str, int] = field(default_factory=dict)
     reconvergences: List[Dict[str, Any]] = field(default_factory=list)
+    detections: List[Dict[str, Any]] = field(default_factory=list)
     accounting: Dict[str, int] = field(default_factory=dict)
     stats: Dict[str, Any] = field(default_factory=dict)
     trace_hash: Optional[str] = None
@@ -136,6 +137,7 @@ class TopoResult:
             "incidents": self.incidents,
             "fault_counts": dict(sorted(self.fault_counts.items())),
             "reconvergences": self.reconvergences,
+            "detections": self.detections,
             "accounting": self.accounting,
             "stats": self.stats,
             "trace_hash": self.trace_hash,
@@ -179,6 +181,7 @@ def _result(name: str, seed: int, window: int, warmup: int,
         incidents=list(topo.incidents),
         fault_counts=topo.fault_counts,
         reconvergences=list(topo.reconvergences),
+        detections=list(topo.detections),
         accounting=topo.accounting(),
         stats=topo.stats(),
         trace_hash=topo.trace_hash(),
@@ -223,15 +226,27 @@ def _scenario_link_failure(seed: int, window: int, warmup: int,
     reconv = topo.reconvergences[-1]["cycles"] if topo.reconvergences else None
     fwd_delivered = h3.received_by_flow.get(fwd, 0)
     lost = count - fwd_delivered
-    # The blackhole lasts one reconvergence plus the frames already in
-    # flight toward the dead link.
+    # The blackhole lasts one reconvergence (which now *includes* the
+    # hello-based detection latency) plus the frames already in flight
+    # toward the dead link.
     loss_bound = ((reconv or RECONVERGE_HORIZON) // interval) + 4
+    # Both endpoints must notice for themselves, within the dead interval
+    # plus one hello of phase skew (and a little processing slack).
+    detections = [d for d in topo.detections if d["latency"] is not None]
+    worst_detect = max((d["latency"] for d in detections), default=None)
+    detect_bound = topo.dead_interval + topo.hello_interval + 1_000
     invariants = [
         _inv("initial-convergence", converge_cycles <= CONVERGE_HORIZON,
              f"{converge_cycles} cycles (horizon {CONVERGE_HORIZON})"),
         _inv("pre-failure-delivery", marks.get("delivered_at_fail", 0) > 0,
              f"{marks.get('delivered_at_fail', 0)} packets delivered before "
              f"the failure at cycle {fail_at}"),
+        _inv("failure-detected-by-hellos",
+             len(detections) >= 2
+             and worst_detect is not None and worst_detect <= detect_bound,
+             f"{len(detections)} endpoint detections, worst latency "
+             f"{worst_detect} cycles (bound {detect_bound} = dead "
+             f"{topo.dead_interval} + hello {topo.hello_interval} + slack)"),
         _inv("reconverged-within-horizon",
              reconv is not None and reconv <= RECONVERGE_HORIZON,
              f"reconvergence took {reconv} cycles (horizon {RECONVERGE_HORIZON})"),
@@ -287,7 +302,10 @@ def _scenario_route_churn(seed: int, window: int, warmup: int,
                        start=warmup)
 
     period = window // (CHURN_FLAPS + 1)
-    down_cycles = int(period * rng.uniform(0.25, 0.4))
+    # The flap must outlast the dead interval (plus hello phase skew) or
+    # neither endpoint can detect it before the restore un-happens it.
+    down_cycles = max(int(period * rng.uniform(0.25, 0.4)),
+                      topo.dead_interval + 2 * topo.hello_interval)
     for i in range(CHURN_FLAPS):
         at = warmup + i * period + int(rng.uniform(0.1, 0.2) * period)
         topo.fail_link("r2", "r3", at=at, restore_at=at + down_cycles)
@@ -301,7 +319,10 @@ def _scenario_route_churn(seed: int, window: int, warmup: int,
     messages = topo.control_messages - messages_before
     # Each flap edge event re-originates 2 LSAs; reliable flooding with
     # duplicate suppression sends each over at most every directed edge.
-    message_bound = 2 * (2 * edges) * (2 * CHURN_FLAPS) + 8
+    # Each restore additionally database-syncs the full LSDB across the
+    # re-formed adjacency (both directions).
+    message_bound = (2 * (2 * edges) * (2 * CHURN_FLAPS)
+                     + 2 * len(topo.nodes) * CHURN_FLAPS + 16)
     delivered = h3.received_by_flow.get(flow, 0)
     lost = count - delivered
     worst_reconv = max((r["cycles"] for r in topo.reconvergences), default=None)
@@ -453,4 +474,9 @@ def bench_rows(results: List[TopoResult]) -> Dict[str, Dict[str, Any]]:
             rows[f"{key}_worst_reconverge_cycles"] = {
                 "paper": None,
                 "measured": max(r["cycles"] for r in result.reconvergences)}
+        measured = [d["latency"] for d in result.detections
+                    if d.get("latency") is not None]
+        if measured:
+            rows[f"{key}_worst_detection_cycles"] = {
+                "paper": None, "measured": max(measured)}
     return rows

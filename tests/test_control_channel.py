@@ -1,0 +1,158 @@
+"""Unit tests for the reliable per-neighbor control channel: wire
+format + checksum, retransmit with deterministic backoff, ack/dedup
+bookkeeping, and reset semantics."""
+
+import pytest
+
+from repro.control.channel import (ACK, HELLO, LSA, ControlMessage,
+                                   NeighborChannel, corrupt_wire,
+                                   decode_message, encode_message)
+from repro.engine import Simulator
+
+
+# ---------------------------------------------------------------------------
+# Wire format.
+# ---------------------------------------------------------------------------
+
+
+def test_encode_decode_round_trip():
+    wire = encode_message(LSA, src=3, seq=17, payload=b'{"router": 1}')
+    msg = decode_message(wire)
+    assert msg == ControlMessage(kind=LSA, src=3, seq=17,
+                                 payload=b'{"router": 1}')
+
+
+def test_hello_and_ack_round_trip():
+    for kind in (HELLO, ACK):
+        msg = decode_message(encode_message(kind, src=9, seq=0))
+        assert msg is not None
+        assert msg.kind == kind and msg.src == 9 and msg.payload == b""
+
+
+def test_corrupted_wire_fails_checksum():
+    wire = encode_message(LSA, src=1, seq=1, payload=b"payload")
+    assert decode_message(corrupt_wire(wire)) is None
+
+
+def test_corrupt_wire_changes_exactly_one_byte():
+    wire = encode_message(LSA, src=1, seq=1, payload=b"x")
+    bad = corrupt_wire(wire)
+    assert len(bad) == len(wire)
+    assert sum(1 for a, b in zip(wire, bad) if a != b) == 1
+
+
+def test_garbage_decodes_to_none():
+    for blob in (b"", b"nonsense", b"deadbeef|{not json}",
+                 b"00000000|" + b'{"kind": "lsa"}'):
+        assert decode_message(blob) is None
+
+
+# ---------------------------------------------------------------------------
+# Channel harness.
+# ---------------------------------------------------------------------------
+
+
+class Harness:
+    """One channel wired to a simulator, with a capturable transmit."""
+
+    def __init__(self, rto=1_000, rto_cap=8_000, max_attempts=3):
+        self.sim = Simulator()
+        self.sent = []            # (cycle, kind, wire)
+        self.events = []          # (event, seq)
+        self.channel = NeighborChannel(
+            1, 2,
+            transmit=lambda data, kind: self.sent.append(
+                (self.sim.now, kind, data)),
+            schedule=self.sim.schedule,
+            now=lambda: self.sim.now,
+            rto=rto, rto_cap=rto_cap, max_attempts=max_attempts,
+        )
+        self.channel.on_event = lambda event, seq: self.events.append(
+            (event, seq))
+
+    def run(self, cycles):
+        self.sim.run(until=self.sim.now + cycles)
+
+
+def test_send_lsa_transmits_once_and_acks_stop_retransmit():
+    h = Harness()
+    seq = h.channel.send_lsa(b"lsa-body")
+    assert [kind for _, kind, _ in h.sent] == [LSA]
+    h.channel.on_ack(seq)
+    h.run(20_000)
+    assert len(h.sent) == 1
+    assert h.channel.unacked == 0
+    assert h.channel.retransmits == 0
+    assert ("lsa_ack", seq) in h.events
+
+
+def test_unacked_lsa_retransmits_with_doubling_backoff():
+    h = Harness(rto=1_000, rto_cap=8_000, max_attempts=5)
+    h.channel.send_lsa(b"lsa-body")
+    h.run(40_000)
+    times = [cycle for cycle, kind, _ in h.sent if kind == LSA]
+    # first transmit at 0, then timeouts at 1k, +2k, +4k, +8k (cap).
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert gaps == [1_000, 2_000, 4_000, 8_000]
+    assert h.channel.retransmits == 4
+
+
+def test_lsa_abandoned_after_max_attempts():
+    h = Harness(max_attempts=3)
+    seq = h.channel.send_lsa(b"lsa-body")
+    h.run(60_000)
+    assert len(h.sent) == 3           # original + 2 retransmits
+    assert h.channel.abandoned == 1
+    assert h.channel.unacked == 0
+    assert ("lsa_abandoned", seq) in h.events
+
+
+def test_max_attempts_must_be_positive():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        NeighborChannel(1, 2, transmit=lambda d, k: None,
+                        schedule=sim.schedule, now=lambda: sim.now,
+                        max_attempts=0)
+
+
+def test_receiver_always_acks_and_dedups():
+    h = Harness()
+    assert h.channel.on_lsa(5, b"payload") == b"payload"
+    assert h.channel.on_lsa(5, b"payload") is None   # duplicate suppressed
+    assert h.channel.duplicates == 1
+    # Both deliveries were acked (the first ack may have been lost).
+    acks = [kind for _, kind, _ in h.sent if kind == ACK]
+    assert len(acks) == 2
+    assert h.channel.acks_sent == 2
+
+
+def test_hellos_are_fire_and_forget():
+    h = Harness()
+    h.channel.send_hello(b'{"seen": []}')
+    h.run(30_000)
+    assert [kind for _, kind, _ in h.sent] == [HELLO]
+    assert h.channel.unacked == 0
+    assert h.channel.hellos_sent == 1
+
+
+def test_reset_clears_pending_but_sequence_stays_monotonic():
+    h = Harness()
+    seq1 = h.channel.send_lsa(b"one")
+    h.channel.reset()
+    assert h.channel.unacked == 0
+    seq2 = h.channel.send_lsa(b"two")
+    assert seq2 > seq1
+    # The armed timer for the pre-reset LSA must not fire a retransmit.
+    h.run(5_000)
+    lsas = [(c, w) for c, kind, w in h.sent if kind == LSA]
+    assert len(lsas) == 2 + h.channel.retransmits
+    assert all(b"one" not in w or c == 0 for c, w in lsas)
+
+
+def test_stale_ack_after_reset_is_harmless():
+    h = Harness()
+    seq = h.channel.send_lsa(b"one")
+    h.channel.reset()
+    h.channel.on_ack(seq)             # ack for a flushed LSA
+    assert h.channel.acks_received == 0
+    assert h.channel.unacked == 0
